@@ -1,0 +1,59 @@
+"""Ablation: dynamic-scheduling chunk size (§3.2.2, §5.2).
+
+"The behavior of dynamic/guided scheduling relies on scheduling
+parameters, such as chunk size.  The choice of this parameter is
+dependent on iteration count, degree of parallelism, and the underlying
+hardware" -- and "it is advisable to have a big enough amount of work
+... to reduce the impact of dynamic scheduling overheads."  This sweep
+quantifies that: CG under dynamic scheduling across chunk sizes, single
+vs slipstream."""
+
+from conftest import bench_cfg, bench_size, publish
+from repro.harness import render_table
+from repro.npb import REGISTRY
+from repro.runtime import RuntimeEnv, run_program
+
+
+def _sweep():
+    spec = REGISTRY["cg"]
+    size = bench_size()
+    n = spec.params(size)["n"]
+    image = spec.compile(size)
+    cfg = bench_cfg()
+    chunks = sorted({max(1, n // 64), max(1, n // 32),
+                     max(1, n // (2 * cfg.n_cmps)), max(1, n // 8)})
+    rows = []
+    for chunk in chunks:
+        cycles = {}
+        for config, mode, slip in [("single", "single", None),
+                                   ("G0", "slipstream",
+                                    ("GLOBAL_SYNC", 0))]:
+            env = RuntimeEnv(schedule=("dynamic", chunk))
+            if slip:
+                env.slipstream = slip
+                env.slipstream_set = True
+            r = run_program(image, cfg=cfg, mode=mode, env=env)
+            spec.verify(r.store, size)
+            cycles[config] = r.cycles
+            sched = r.r_breakdown.get("scheduling", 0.0)
+            total = sum(r.r_breakdown.values())
+            cycles[config + "_schedfrac"] = sched / total
+        rows.append((chunk, cycles))
+    return rows
+
+
+def test_ablation_dynamic_chunk_size(once):
+    rows = once(_sweep)
+    # Smaller chunks mean more scheduling decisions: the scheduling-time
+    # fraction must fall as the chunk grows.
+    fracs = [c["single_schedfrac"] for _, c in rows]
+    assert fracs[0] >= fracs[-1]
+    table = [[chunk, f"{c['single']:.0f}", f"{c['G0']:.0f}",
+              f"{c['single'] / c['G0']:.3f}",
+              f"{c['single_schedfrac']:.3f}"]
+             for chunk, c in rows]
+    publish("ablation_chunksize",
+            render_table(["chunk", "single cycles", "slip-G0 cycles",
+                          "slip gain", "sched fraction (single)"],
+                         table,
+                         "Ablation: CG dynamic-scheduling chunk size"))

@@ -1,0 +1,54 @@
+"""Ablation: sensitivity to communication latency.
+
+The slipstream premise (§1, §2) is that the mechanism pays off where
+communication overheads dominate.  A direct corollary: making the
+interconnect slower should widen slipstream's advantage, and making it
+near-instant should shrink it.  This sweep scales NetTime across
+{0.5x, 1x, 2x} the Table-1 value on SP (the most migration-heavy
+kernel) and checks the monotone trend."""
+
+from conftest import at_paper_scale, bench_cfg, bench_size, publish
+from repro.harness import render_table
+from repro.npb import REGISTRY
+from repro.runtime import RuntimeEnv, run_program
+
+SCALES = (0.5, 1.0, 2.0)
+
+
+def _sweep():
+    spec = REGISTRY["sp"]
+    size = bench_size()
+    image = spec.compile(size)
+    base_cfg = bench_cfg()
+    rows = []
+    for scale in SCALES:
+        cfg = base_cfg.with_(net_time_ns=base_cfg.net_time_ns * scale)
+        cyc = {}
+        for config, mode, slip in [("single", "single", None),
+                                   ("G0", "slipstream",
+                                    ("GLOBAL_SYNC", 0))]:
+            env = None
+            if slip:
+                env = RuntimeEnv(slipstream=slip, slipstream_set=True)
+            r = run_program(image, cfg=cfg, mode=mode, env=env)
+            spec.verify(r.store, size)
+            cyc[config] = r.cycles
+        rows.append((scale, cfg.remote_miss_ns, cyc))
+    return rows
+
+
+def test_ablation_latency_sensitivity(once):
+    rows = once(_sweep)
+    gains = [c["single"] / c["G0"] for _, _, c in rows]
+    if at_paper_scale():
+        # Slipstream's advantage grows with communication latency.
+        assert gains[-1] > gains[0], gains
+    table = [[f"{s:.1f}x", f"{remote:.0f}", f"{c['single']:.0f}",
+              f"{c['G0']:.0f}", f"{c['single'] / c['G0']:.3f}"]
+             for (s, remote, c) in rows]
+    publish("ablation_latency",
+            render_table(["NetTime scale", "remote miss (ns)",
+                          "single cycles", "slip-G0 cycles", "slip gain"],
+                         table,
+                         "Ablation: SP slipstream gain vs interconnect "
+                         "latency"))

@@ -1,0 +1,51 @@
+"""Ablation: token count and insertion point (§2.2, §3.3).
+
+The paper exposes "two ways to control A-R synchronization: the number
+of tokens, and the insertion point of the tokens (local vs global)" and
+§5.1 shows performance is sensitive to the choice.  This sweep runs CG
+and SP across {GLOBAL, LOCAL} x {0, 1, 2, 4} initial tokens -- exactly
+the parameter space of the slipstream directive / OMP_SLIPSTREAM."""
+
+import itertools
+
+from conftest import bench_cfg, bench_size, publish
+from repro.harness import render_table
+from repro.npb import REGISTRY
+from repro.runtime import RuntimeEnv, run_program
+
+SWEEP = [("GLOBAL_SYNC", t) for t in (0, 1, 2)] + \
+        [("LOCAL_SYNC", t) for t in (1, 2, 4)]
+
+
+def _sweep(bench: str):
+    spec = REGISTRY[bench]
+    size = bench_size()
+    image = spec.compile(size)
+    cfg = bench_cfg()
+    base = run_program(image, cfg=cfg, mode="single")
+    spec.verify(base.store, size)
+    rows = []
+    for sync, tokens in SWEEP:
+        env = RuntimeEnv(slipstream=(sync, tokens), slipstream_set=True)
+        r = run_program(image, cfg=cfg, mode="slipstream", env=env)
+        spec.verify(r.store, size)
+        rows.append((sync, tokens, r.cycles, base.cycles / r.cycles))
+    return base.cycles, rows
+
+
+def test_ablation_token_policy(once):
+    results = once(lambda: {b: _sweep(b) for b in ("cg", "sp")})
+    table_rows = []
+    for bench, (base_cycles, rows) in results.items():
+        speedups = [s for *_, s in rows]
+        # The policy choice must actually matter (paper: "sensitivity of
+        # performance to the type of A-R synchronization").
+        assert max(speedups) - min(speedups) > 0.005
+        for sync, tokens, cycles, speedup in rows:
+            table_rows.append([bench.upper(), sync, tokens,
+                               f"{cycles:.0f}", f"{speedup:.3f}"])
+    publish("ablation_tokens",
+            render_table(["bench", "sync", "tokens", "cycles",
+                          "speedup vs single"],
+                         table_rows,
+                         "Ablation: A-R synchronization policy sweep"))

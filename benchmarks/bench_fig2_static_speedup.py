@@ -1,0 +1,50 @@
+"""Figure 2: slipstream and double-mode performance, static scheduling.
+
+Regenerates both panels of Figure 2 for the five mini-NPB benchmarks on
+the 16-CMP machine: speedup of double mode and of slipstream (one-token
+local "L1" and zero-token global "G0") normalized to single-mode
+execution, plus the execution-time breakdown (busy, memory, lock,
+barrier, scheduling, job-wait).
+
+Paper shape targets (§5.1): the best slipstream beats the best of
+single/double on every benchmark, with gains in the 5-20% band
+(13.5% average); static scheduling time is negligible."""
+
+from conftest import at_paper_scale, get_static_suite, publish
+from repro.harness import (render_breakdowns, render_speedups,
+                           speedup_table, summary_gains)
+
+
+def test_fig2_static_speedups_and_breakdown(once):
+    suite = once(get_static_suite)
+
+    gains = summary_gains(suite)
+    avg = sum(gains.values()) / len(gains)
+    if at_paper_scale():
+        for bench, gain in gains.items():
+            assert gain > 1.0, \
+                f"{bench}: slipstream does not beat best(single,double)"
+        assert 1.03 < avg < 1.30, \
+            f"average gain {avg:.3f} out of paper band"
+    # Static scheduling time is negligible (§5.1 / Figure 2).
+    for bench, runs in suite.items():
+        bd = runs["single"].result.r_breakdown
+        assert bd.get("scheduling", 0) / sum(bd.values()) < 0.02
+
+    speeds = speedup_table(suite)
+    text = render_speedups(
+        suite, title="Figure 2a: speedup over single mode "
+                     "(static scheduling, 16 CMPs)")
+    text += "\n\nper-benchmark best-slip/best-base gains: " + ", ".join(
+        f"{b.upper()}={g:.3f}" for b, g in sorted(gains.items()))
+    text += f"\naverage gain: {avg:.3f}"
+    text += "\n\n" + render_breakdowns(
+        suite, title="Figure 2b: execution-time breakdown "
+                     "(normalized to single-mode total)")
+    publish("fig2_static", text)
+    if at_paper_scale():
+        # Loose-vs-conservative preference split exists (paper: CG, LU,
+        # MG favored local; BT and SP global).
+        prefer_g0 = [b for b in speeds if speeds[b]["G0"] >= speeds[b]["L1"]]
+        prefer_l1 = [b for b in speeds if speeds[b]["L1"] > speeds[b]["G0"]]
+        assert prefer_g0 and prefer_l1

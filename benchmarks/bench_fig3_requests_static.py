@@ -1,0 +1,67 @@
+"""Figure 3: breakdown of shared-data memory requests, static scheduling.
+
+For the two slipstream synchronization policies, classifies every
+shared-data fill as A/R x Timely/Late/Only, separately for reads and
+read-exclusives -- the paper's Figure 3.
+
+Paper shape targets (§5.1): the loose policy (one-token local) shows
+*more* A-Timely and *fewer* A-Late read fills than the conservative
+zero-token global policy (the A-stream is allowed to run further
+ahead); premature prefetches (A-Only) stay a small fraction; the
+A-stream provides substantial read-exclusive coverage via store->
+prefetch conversion."""
+
+from conftest import at_paper_scale, get_static_suite, publish
+from repro.harness import render_classification
+
+
+def _avg(suite, cfg, kind, label):
+    vals = [runs[cfg].result.classes.breakdown(kind)[label]
+            for runs in suite.values()]
+    return sum(vals) / len(vals)
+
+
+def test_fig3_request_classification(once):
+    suite = once(get_static_suite)
+
+    g0_cov = sum(
+        runs["G0"].result.classes.coverage("rdex")
+        for runs in suite.values()) / len(suite)
+    if at_paper_scale():
+        # On the benchmarks that prefer loose synchronization (CG, MG;
+        # §5.1 "CG, LU, and MG favor the loose synchronization"), L1
+        # lets the A-stream run further ahead: more A-Timely fills.
+        for b in ("cg", "mg"):
+            reads_l1 = suite[b]["L1"].result.classes.breakdown("read")
+            reads_g0 = suite[b]["G0"].result.classes.breakdown("read")
+            assert reads_l1["A-Timely"] > reads_g0["A-Timely"], b
+        # And across the suite, the tight policy holds the A-stream
+        # close enough that more of its fills are still in flight when
+        # the R-stream arrives (paper: 34% late under G0 vs 15% under
+        # L1) -- an average-level claim, as in the paper.
+        assert _avg(suite, "G0", "read", "A-Late") > \
+            _avg(suite, "L1", "read", "A-Late")
+        # Conversely, loose sync raises premature prefetches (paper: 8%
+        # A-Only under L1 vs 3% under G0) -- on our migration-heavy
+        # ADI kernels this is why BT and SP prefer G0.
+        assert _avg(suite, "L1", "read", "A-Only") > \
+            _avg(suite, "G0", "read", "A-Only")
+        # Premature prefetches stay the minority under G0.
+        assert _avg(suite, "G0", "read", "A-Only") < 0.15
+        # Read-exclusive coverage from converted stores is substantial.
+        assert g0_cov > 0.30
+
+    text = render_classification(
+        suite, configs=("G0", "L1"),
+        title="Figure 3: shared-data request breakdown "
+              "(static scheduling, fraction of fills per kind)")
+    text += (f"\n\naverages: G0 A-Timely(read)="
+             f"{_avg(suite, 'G0', 'read', 'A-Timely'):.3f} "
+             f"A-Late(read)={_avg(suite, 'G0', 'read', 'A-Late'):.3f} "
+             f"A-Only(read)={_avg(suite, 'G0', 'read', 'A-Only'):.3f}; "
+             f"L1 A-Timely(read)="
+             f"{_avg(suite, 'L1', 'read', 'A-Timely'):.3f} "
+             f"A-Late(read)={_avg(suite, 'L1', 'read', 'A-Late'):.3f} "
+             f"A-Only(read)={_avg(suite, 'L1', 'read', 'A-Only'):.3f}; "
+             f"G0 rdex coverage={g0_cov:.3f}")
+    publish("fig3_requests_static", text)

@@ -1,0 +1,61 @@
+"""Figure 4: execution-time breakdown under dynamic scheduling.
+
+§5.2: LU is excluded (its static scheduling is hard-coded); the
+comparison is against one task/CMP only; only zero-token-global
+slipstream synchronization applies (the per-chunk scheduling handoff
+makes looser policies converge to G0); CG uses a chunk equal to half
+its static block.
+
+Paper shape targets: visible scheduling overhead in the base runs
+(≈11% average in the paper), higher stall/busy ratio than static
+scheduling, and slipstream still improving every benchmark (5-20%,
+12% average)."""
+
+from conftest import (at_paper_scale, get_dynamic_suite,
+                      get_static_suite, publish)
+from repro.harness import render_breakdowns, render_speedups
+
+
+def test_fig4_dynamic_breakdown(once):
+    suite = once(get_dynamic_suite)
+
+    gains = {}
+    scheds = {}
+    for bench, runs in suite.items():
+        gains[bench] = runs["single"].cycles / runs["G0"].cycles
+        bd = runs["single"].result.r_breakdown
+        scheds[bench] = bd.get("scheduling", 0.0) / sum(bd.values())
+
+    avg = sum(gains.values()) / len(gains)
+    if at_paper_scale():
+        # Dynamic scheduling shows real scheduling overhead...
+        assert sum(scheds.values()) / len(scheds) > 0.02
+        # ...and slipstream wins overall.  Mini-CG is the documented
+        # exception: its loops are so much finer-grained than real CG's
+        # that the serialized scheduler swallows ~70% of its time,
+        # leaving slipstream neutral there (see EXPERIMENTS.md).
+        winners = sum(1 for g in gains.values() if g > 1.0)
+        assert winners >= len(gains) - 1, gains
+        for bench, gain in gains.items():
+            assert gain > 0.97, f"{bench}: slipstream hurts under dynamic"
+        assert 1.02 < avg < 1.35
+        # The paper observes dynamic scheduling degrades these
+        # benchmarks relative to static (lost cache affinity).
+        static = get_static_suite()
+        degraded = sum(
+            1 for b in suite
+            if suite[b]["single"].cycles > static[b]["single"].cycles)
+        assert degraded >= len(suite) - 1
+
+    text = render_speedups(
+        suite, title="Figure 4a: speedup over single mode "
+                     "(dynamic scheduling, 16 CMPs)")
+    text += "\n\nper-benchmark slipstream gain: " + ", ".join(
+        f"{b.upper()}={g:.3f}" for b, g in sorted(gains.items()))
+    text += f"\naverage gain: {avg:.3f}"
+    text += "\nbase scheduling-time fraction: " + ", ".join(
+        f"{b.upper()}={s:.3f}" for b, s in sorted(scheds.items()))
+    text += "\n\n" + render_breakdowns(
+        suite, title="Figure 4b: execution-time breakdown "
+                     "(dynamic scheduling)")
+    publish("fig4_dynamic", text)

@@ -1,0 +1,61 @@
+"""Scalability: slipstream as "an additional opportunity for extending
+the scalability of an application" (§1, §7).
+
+Runs CG at a fixed problem size across machine widths and shows the
+fixed-size scaling wall: single-mode speedup flattens as CMPs grow
+while communication overheads rise, and slipstream extends the curve by
+spending the second processor per CMP on latency reduction instead of
+parallelism."""
+
+from conftest import bench_size, publish
+from repro.config import PAPER_MACHINE
+from repro.harness import render_table
+from repro.npb import REGISTRY
+from repro.runtime import run_program
+
+WIDTHS = (4, 8, 16)
+
+
+#: A larger CG than the Figure-2 size, so the 4-CMP end of the curve
+#: still scales and the 16-CMP end sits at the communication knee.
+SCALING_PARAMS = dict(n=4096, nnz=8, iters=2)
+
+
+def _scaling():
+    spec = REGISTRY["cg"]
+    size = bench_size()
+    params = SCALING_PARAMS if size == "bench" else {}
+    image = spec.compile(size, **params)
+    rows = []
+    for n in WIDTHS:
+        cfg = PAPER_MACHINE.with_(n_cmps=n)
+        cyc = {}
+        for mode in ("single", "double", "slipstream"):
+            r = run_program(image, cfg=cfg, mode=mode)
+            spec.verify(r.store, size, **params)
+            cyc[mode] = r.cycles
+        rows.append((n, cyc))
+    return rows
+
+
+def test_scaling_curve(once):
+    rows = once(_scaling)
+    if bench_size() == "bench":
+        # Fixed problem: single-mode time decreases with machine size...
+        singles = [c["single"] for _, c in rows]
+        assert singles[0] > singles[-1]
+        # ...but sub-linearly (the scaling wall): 4x CMPs buys < 4x.
+        assert singles[0] / singles[-1] < (WIDTHS[-1] / WIDTHS[0]) * 0.9
+        # Past the knee, doubling tasks per CMP is no longer the answer
+        # (§1's motivation for spending the second CPU on slipstream).
+        at16 = rows[-1][1]
+        assert at16["double"] > at16["single"] * 0.9
+    table = [[n, f"{c['single']:.0f}", f"{c['double']:.0f}",
+              f"{c['slipstream']:.0f}",
+              f"{c['single'] / c['slipstream']:.3f}"]
+             for n, c in rows]
+    publish("scaling",
+            render_table(["CMPs", "single", "double", "slipstream (G0)",
+                          "slip speedup vs single"],
+                         table, "CG fixed-size scaling across machine "
+                                "widths"))

@@ -1,0 +1,30 @@
+"""Table 2: the benchmark suite.
+
+The paper lists the NPB 2.3 OpenMP benchmarks used (BT, CG, LU, MG, SP)
+with problem sizes chosen "to achieve a reasonable simulation time" and
+to sit where communication starts to dominate.  This regenerates the
+analogous inventory for the mini-NPB kernels, and sanity-runs every
+kernel at test size to confirm the inventory is live."""
+
+from conftest import publish
+from repro.config import PAPER_MACHINE
+from repro.harness import benchmark_inventory, render_table, run_benchmark
+
+
+def _inventory_and_smoke():
+    rows = benchmark_inventory()
+    cfg = PAPER_MACHINE.with_(n_cmps=4)
+    for row in rows:
+        run = run_benchmark(row["benchmark"].lower(), "single",
+                            cfg=cfg, size="test")
+        row["test cycles (4 CMPs)"] = int(run.cycles)
+    return rows
+
+
+def test_table2_benchmark_inventory(once):
+    rows = _inventory_and_smoke()
+    assert {r["benchmark"] for r in rows} == {"BT", "CG", "LU", "MG", "SP"}
+    headers = list(rows[0].keys())
+    publish("table2_benchmarks",
+            render_table(headers, [[r[h] for h in headers] for r in rows],
+                         "Table 2: mini-NPB benchmark inventory"))

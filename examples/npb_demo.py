@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run a mini-NAS benchmark end to end, paper-style.
+
+Picks one of the mini-NPB kernels (default CG), compiles its SlipC
+source, runs it in the three execution modes on a paper-configured
+machine, verifies every run against the NumPy reference, and prints a
+Figure-2-style summary row plus the Figure-3-style request breakdown.
+
+Run:  python examples/npb_demo.py [bt|cg|lu|mg|sp] [--size test|bench]
+"""
+
+import argparse
+
+from repro import PAPER_MACHINE, run_program
+from repro.npb import REGISTRY
+from repro.runtime import RuntimeEnv
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench", nargs="?", default="cg",
+                    choices=sorted(REGISTRY))
+    ap.add_argument("--size", default="test", choices=["test", "bench"])
+    ap.add_argument("--cmps", type=int, default=8)
+    args = ap.parse_args()
+
+    spec = REGISTRY[args.bench]
+    cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    print(f"mini-{args.bench.upper()}: {spec.description}")
+    print(f"parameters: {spec.params(args.size)}, "
+          f"machine: {args.cmps} CMPs\n")
+    image = spec.compile(args.size)
+
+    runs = {}
+    for label, mode, env in [
+            ("single", "single", None),
+            ("double", "double", None),
+            ("slip-G0", "slipstream",
+             RuntimeEnv(slipstream=("GLOBAL_SYNC", 0), slipstream_set=True)),
+            ("slip-L1", "slipstream",
+             RuntimeEnv(slipstream=("LOCAL_SYNC", 1), slipstream_set=True))]:
+        r = run_program(image, cfg=cfg, mode=mode, env=env)
+        spec.verify(r.store, args.size)       # NumPy oracle, every run
+        runs[label] = r
+        frac = r.breakdown_fractions()
+        print(f"{label:>8}: {r.cycles:>12,.0f} cycles  "
+              f"(busy {frac.get('busy', 0):.2f}, "
+              f"memory {frac.get('memory', 0):.2f}, "
+              f"barrier {frac.get('barrier', 0):.2f}, "
+              f"jobwait {frac.get('jobwait', 0):.2f})  verified")
+
+    best_base = min(runs["single"].cycles, runs["double"].cycles)
+    best_slip = min(runs["slip-G0"].cycles, runs["slip-L1"].cycles)
+    print(f"\nbest slipstream vs best(single, double): "
+          f"{best_base / best_slip:.3f}x")
+
+    for label in ("slip-G0", "slip-L1"):
+        cls = runs[label].classes
+        reads = cls.breakdown("read")
+        print(f"{label} shared reads: "
+              + " ".join(f"{k}={v:.2f}" for k, v in reads.items() if v)
+              + f"   rdex coverage={cls.coverage('rdex'):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Static vs dynamic vs guided scheduling, with and without slipstream.
+
+Reproduces the paper's §3.2 interaction in miniature: static scheduling
+lets the A-stream compute its assignment independently (least
+restrictive), while dynamic/guided scheduling forwards each chunk
+decision from the R-stream through the CMP's syscall semaphore --
+tightening the effective synchronization and adding the serialized
+scheduling overhead §5.2 measures.
+
+Run:  python examples/scheduling_comparison.py
+"""
+
+from repro import PAPER_MACHINE, compile_source, run_program
+from repro.runtime import RuntimeEnv
+
+CFG = PAPER_MACHINE.with_(n_cmps=8)
+
+# An imbalanced workload: row i costs O(i) work, the textbook case for
+# dynamic scheduling.
+SOURCE = """
+double a[512][32];
+double rowsum[512];
+int i, j;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp for schedule(runtime)
+        for (i = 0; i < 512; i = i + 1) {
+            for (j = 0; j < 32; j = j + 1) a[i][j] = (i * 31 + j) % 7;
+        }
+        #pragma omp for schedule(runtime)
+        for (i = 0; i < 512; i = i + 1) {
+            int reps;  int r;
+            double s;
+            s = 0.0;
+            reps = 1 + i / 64;                 /* imbalance: 1..8 passes */
+            for (r = 0; r < reps; r = r + 1) {
+                for (j = 0; j < 32; j = j + 1) s = s + a[i][j] * 0.125;
+            }
+            rowsum[i] = s;
+        }
+    }
+}
+"""
+
+
+def main() -> None:
+    image = compile_source(SOURCE)
+    schedules = [("static", None), ("static", 8),
+                 ("dynamic", 8), ("dynamic", 32), ("guided", 4)]
+    print(f"{'schedule':>16} {'single':>12} {'slipstream':>12} "
+          f"{'slip gain':>10} {'sched frac':>11} {'fwd decisions':>14}")
+    for kind, chunk in schedules:
+        row = {}
+        fwd = 0
+        for mode in ("single", "slipstream"):
+            env = RuntimeEnv(schedule=(kind, chunk))
+            r = run_program(image, cfg=CFG, mode=mode, env=env)
+            row[mode] = r
+            if mode == "slipstream":
+                fwd = sum(s["decisions_forwarded"]
+                          for s in r.channel_stats.values())
+        single, slip = row["single"], row["slipstream"]
+        bd = single.r_breakdown
+        frac = bd.get("scheduling", 0.0) / sum(bd.values())
+        label = kind + (f",{chunk}" if chunk else "")
+        print(f"{label:>16} {single.cycles:>12,.0f} "
+              f"{slip.cycles:>12,.0f} "
+              f"{single.cycles / slip.cycles:>10.3f} {frac:>11.3f} "
+              f"{fwd:>14}")
+    print("\nNote how dynamic scheduling adds serialized scheduling time "
+          "(the paper's ~11% base overhead), and how every dynamic chunk "
+          "decision is forwarded R->A through the pair channel (§3.2.2).")
+
+
+if __name__ == "__main__":
+    main()

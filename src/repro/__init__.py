@@ -1,0 +1,26 @@
+"""repro: reproduction of "Extending OpenMP to Support Slipstream
+Execution Mode" (Ibrahim & Byrd, IPPS 2003).
+
+Public API quick tour::
+
+    from repro import compile_source, run_program, PAPER_MACHINE
+
+    image = compile_source(SLIPC_SOURCE)           # one binary ...
+    base = run_program(image, mode="single")       # ... many modes
+    slip = run_program(image, mode="slipstream")
+    print(base.cycles / slip.cycles)               # slipstream speedup
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from .compiler import CompiledProgram, compile_source
+from .config import PAPER_MACHINE, CacheConfig, MachineConfig
+from .interp import FunctionalRunner
+from .runtime import Machine, RunResult, RuntimeEnv, run_program
+
+__version__ = "1.0.0"
+
+__all__ = ["CompiledProgram", "compile_source", "PAPER_MACHINE",
+           "CacheConfig", "MachineConfig", "FunctionalRunner", "Machine",
+           "RunResult", "RuntimeEnv", "run_program", "__version__"]

@@ -1,0 +1,201 @@
+"""Command-line front end: compile and run SlipC/OpenMP programs on the
+simulated machine.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro run prog.c --mode slipstream --cmps 16 \\
+        --slipstream LOCAL_SYNC,1 --schedule dynamic,8
+    python -m repro compile prog.c --disasm
+    python -m repro check prog.c          # shared/private classification
+    python -m repro bench cg mg --size test --cmps 4
+
+This is the analogue of driving the paper's toolchain: one compiled
+image, execution mode and slipstream policy chosen at run time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compiler import compile_source, disassemble
+from .config import PAPER_MACHINE
+from .harness import render_speedups, run_static_suite
+from .interp import FunctionalRunner
+from .lang import analyze, parse
+from .lang.errors import CompileError
+from .runtime import RuntimeEnv, run_program
+from .runtime.env import parse_slipstream
+
+__all__ = ["main"]
+
+
+def _machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cmps", type=int, default=16,
+                   help="number of dual-processor CMP nodes (default 16)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Slipstream-OpenMP compiler + simulated CMP machine")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    runp = sub.add_parser("run", help="compile and simulate a program")
+    runp.add_argument("file")
+    runp.add_argument("--mode", default="single",
+                      choices=["single", "double", "slipstream",
+                               "functional"])
+    _machine_args(runp)
+    runp.add_argument("--slipstream", metavar="TYPE[,TOKENS]",
+                      help="OMP_SLIPSTREAM value (e.g. LOCAL_SYNC,1)")
+    runp.add_argument("--schedule", metavar="KIND[,CHUNK]",
+                      help="OMP_SCHEDULE value (for schedule(runtime))")
+    runp.add_argument("--num-threads", type=int, help="OMP_NUM_THREADS")
+    runp.add_argument("--inputs", type=float, nargs="*", default=None,
+                      help="values consumed by read_input()")
+    runp.add_argument("--stats", action="store_true",
+                      help="print time breakdown and request classes")
+    runp.add_argument("--selfinv", action="store_true",
+                      help="enable slipstream self-invalidation")
+
+    comp = sub.add_parser("compile", help="compile only; report the image")
+    comp.add_argument("file")
+    comp.add_argument("--disasm", action="store_true",
+                      help="print a bytecode listing")
+
+    chk = sub.add_parser("check",
+                         help="front-end analysis: per-region "
+                              "shared/private classification")
+    chk.add_argument("file")
+
+    ben = sub.add_parser("bench", help="run mini-NPB benchmarks")
+    ben.add_argument("names", nargs="*", default=[],
+                     help="benchmarks (default: all of bt cg lu mg sp)")
+    ben.add_argument("--size", default="test", choices=["test", "bench"])
+    _machine_args(ben)
+    return ap
+
+
+def _env_from_args(args) -> RuntimeEnv:
+    env = RuntimeEnv()
+    if getattr(args, "slipstream", None):
+        env.slipstream = parse_slipstream(args.slipstream)
+        env.slipstream_set = True
+    if getattr(args, "schedule", None):
+        parts = args.schedule.split(",")
+        env.schedule = (parts[0].strip().lower(),
+                        int(parts[1]) if len(parts) > 1 else None)
+    if getattr(args, "num_threads", None):
+        env.num_threads = args.num_threads
+    return env
+
+
+def _cmd_run(args, out) -> int:
+    source = open(args.file).read()
+    image = compile_source(source)
+    if args.mode == "functional":
+        runner = FunctionalRunner(image, inputs=args.inputs).run()
+        for row in runner.output:
+            print(*row, file=out)
+        return 0
+    cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    result = run_program(image, cfg=cfg, mode=args.mode,
+                         env=_env_from_args(args), inputs=args.inputs,
+                         selfinv=args.selfinv)
+    for row in result.output:
+        print(*row, file=out)
+    print(f"[{args.mode}] {result.cycles:,.0f} cycles on {args.cmps} CMPs",
+          file=out)
+    if args.stats:
+        for cat, frac in sorted(result.breakdown_fractions().items(),
+                                key=lambda kv: -kv[1]):
+            print(f"  {cat:<12} {frac:6.3f}", file=out)
+        if args.mode == "slipstream":
+            for kind in ("read", "rdex"):
+                brk = result.classes.breakdown(kind)
+                row = " ".join(f"{k}={v:.2f}" for k, v in brk.items() if v)
+                print(f"  {kind:<5} fills: {row}", file=out)
+            if result.recoveries:
+                print(f"  recoveries: {len(result.recoveries)}", file=out)
+    return 0
+
+
+def _cmd_compile(args, out) -> int:
+    image = compile_source(open(args.file).read())
+    print(f"{args.file}: {len(image.globals)} shared globals, "
+          f"{len(image.funcs)} functions "
+          f"({sum(1 for f in image.funcs if f.is_region)} outlined "
+          f"regions), {image.n_instructions} instructions, "
+          f"{len(image.sites)} synchronization sites", file=out)
+    if args.disasm:
+        for code in image.funcs:
+            print(file=out)
+            print(disassemble(code), file=out)
+    return 0
+
+
+def _cmd_check(args, out) -> int:
+    program = parse(open(args.file).read())
+    info = analyze(program)
+    print(f"{args.file}: {len(info.globals)} shared globals, "
+          f"{len(info.funcs)} functions, {len(info.regions)} parallel "
+          f"regions", file=out)
+    for i, region in enumerate(info.regions):
+        print(f"  region {i} (in {region.func}, line {region.line}):",
+              file=out)
+        print(f"    shared refs : {sorted(region.shared_refs)}", file=out)
+        print(f"    private     : {sorted(region.private)}", file=out)
+        if region.firstprivate:
+            print(f"    firstprivate: {sorted(region.firstprivate)}",
+                  file=out)
+        if region.captured:
+            print(f"    captured    : {sorted(region.captured)}", file=out)
+        for red in region.reductions:
+            print(f"    reduction   : {red.op}: {red.names}", file=out)
+        for s in region.schedules:
+            print(f"    schedule    : {s.kind}"
+                  f"{',' + str(s.chunk) if s.chunk else ''}", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from .npb import REGISTRY
+    names = args.names or sorted(REGISTRY)
+    bad = [n for n in names if n not in REGISTRY]
+    if bad:
+        print(f"unknown benchmark(s): {bad}", file=sys.stderr)
+        return 2
+    cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names)
+    print(render_speedups(
+        suite, title=f"mini-NPB ({args.size} size, {args.cmps} CMPs)"),
+        file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.cmd == "run":
+            return _cmd_run(args, out)
+        if args.cmd == "compile":
+            return _cmd_compile(args, out)
+        if args.cmd == "check":
+            return _cmd_check(args, out)
+        if args.cmd == "bench":
+            return _cmd_bench(args, out)
+    except CompileError as e:
+        print(f"compile error: {e}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

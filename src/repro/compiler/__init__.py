@@ -1,0 +1,8 @@
+"""SlipC compiler back end: bytecode IR and OpenMP lowering."""
+
+from .bytecode import (Code, CompiledProgram, GlobalDecl, OP_COST,
+                       RT_RETURNS, disassemble)
+from .codegen import compile_program, compile_source
+
+__all__ = ["Code", "CompiledProgram", "GlobalDecl", "OP_COST",
+           "RT_RETURNS", "disassemble", "compile_program", "compile_source"]

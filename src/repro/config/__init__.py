@@ -1,0 +1,5 @@
+"""Configuration: paper Table 1 (machine) and Table 2 (benchmarks)."""
+
+from .machine import PAPER_MACHINE, CacheConfig, MachineConfig
+
+__all__ = ["PAPER_MACHINE", "CacheConfig", "MachineConfig"]

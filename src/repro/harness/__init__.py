@@ -1,0 +1,21 @@
+"""Experiment harness: paper-figure runners and renderers."""
+
+from .figures import (BREAKDOWN_CATEGORIES, benchmark_inventory,
+                      breakdown_table, classification_table,
+                      render_breakdowns, render_classification,
+                      render_speedups, render_table, speedup_table,
+                      summary_gains)
+from .report import classification_to_csv, suite_to_csv, suite_to_markdown
+from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
+                     BenchRun, dynamic_chunk, run_benchmark,
+                     run_dynamic_suite, run_static_suite)
+
+__all__ = [
+    "BREAKDOWN_CATEGORIES", "benchmark_inventory", "breakdown_table",
+    "classification_table", "render_breakdowns", "render_classification",
+    "render_speedups", "render_table", "speedup_table", "summary_gains",
+    "DYNAMIC_BENCHMARKS", "SLIP_CONFIGS", "STATIC_BENCHMARKS", "BenchRun",
+    "dynamic_chunk", "run_benchmark", "run_dynamic_suite",
+    "run_static_suite", "classification_to_csv", "suite_to_csv",
+    "suite_to_markdown",
+]

@@ -1,0 +1,150 @@
+"""Experiment runner: executes mini-NPB benchmarks in the paper's
+configurations and collects the data behind each figure.
+
+Terminology follows §5: *single* = one task per CMP (second CPU idle);
+*double* = two tasks per CMP; *slipstream* runs are named by their A-R
+synchronization -- ``G0`` (zero-token global) and ``L1`` (one-token
+local), the two policies of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..npb import REGISTRY
+from ..runtime import RunResult, RuntimeEnv, run_program
+
+__all__ = ["BenchRun", "run_benchmark", "run_static_suite",
+           "run_dynamic_suite", "SLIP_CONFIGS", "STATIC_BENCHMARKS",
+           "DYNAMIC_BENCHMARKS", "dynamic_chunk"]
+
+#: Benchmarks of the static-scheduling study (Fig 2/3).
+STATIC_BENCHMARKS = ("bt", "cg", "lu", "mg", "sp")
+#: LU is excluded from the dynamic study: "static scheduling is
+#: programatically specified in this benchmark" (§5.2).
+DYNAMIC_BENCHMARKS = ("bt", "cg", "mg", "sp")
+
+#: The two A-R synchronization policies of Figure 2.
+SLIP_CONFIGS: Dict[str, Tuple[str, int]] = {
+    "G0": ("GLOBAL_SYNC", 0),
+    "L1": ("LOCAL_SYNC", 1),
+}
+
+
+@dataclass
+class BenchRun:
+    """One benchmark executed under one configuration."""
+
+    bench: str
+    config: str                  # "single" | "double" | "G0" | "L1" | ...
+    result: RunResult
+    params: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        """Simulated execution time of this run (cycles)."""
+        return self.result.cycles
+
+    def speedup_over(self, base: "BenchRun") -> float:
+        """This run's speedup relative to a baseline run."""
+        return base.cycles / self.cycles
+
+
+def _env_for(config: str, schedule=None) -> Optional[RuntimeEnv]:
+    kw = {}
+    if schedule is not None:
+        kw["schedule"] = schedule
+    if config in SLIP_CONFIGS:
+        kw["slipstream"] = SLIP_CONFIGS[config]
+        kw["slipstream_set"] = True
+    return RuntimeEnv(**kw) if kw else None
+
+
+def _mode_for(config: str) -> str:
+    if config in ("single", "double"):
+        return config
+    return "slipstream"
+
+
+def run_benchmark(bench: str, config: str,
+                  cfg: MachineConfig = PAPER_MACHINE,
+                  size: str = "bench",
+                  schedule: Optional[Tuple[str, Optional[int]]] = None,
+                  verify: bool = True,
+                  params: Optional[Dict[str, int]] = None,
+                  **machine_kw) -> BenchRun:
+    """Run one mini-NPB benchmark in one configuration and verify the
+    computed values against the NumPy reference."""
+    spec = REGISTRY[bench]
+    overrides = params or {}
+    full_params = spec.params(size, **overrides)
+    image = spec.compile(size, **overrides)
+    result = run_program(image, cfg=cfg, mode=_mode_for(config),
+                         env=_env_for(config, schedule), **machine_kw)
+    if verify:
+        spec.verify(result.store, size, **overrides)
+    return BenchRun(bench, config, result, full_params)
+
+
+def dynamic_chunk(bench: str, cfg: MachineConfig, size: str = "bench"
+                  ) -> Optional[int]:
+    """§5.2 chunk policy: compiler defaults except CG, where the chunk
+    is half the static block assignment.  For MG the mini-kernel's
+    loops are far finer-grained than real NPB-MG's (whose iterations
+    each carry a plane of work), so a chunk of a few rows is the
+    work-equivalent of the paper's default chunk of one."""
+    if bench == "cg":
+        n = REGISTRY["cg"].params(size)["n"]
+        return max(1, n // (2 * cfg.n_cmps))
+    if bench == "mg" and size == "bench":
+        return 3
+    return None
+
+
+#: Benchmark-parameter overrides for the dynamic study.  Mini-MG runs a
+#: coarser hierarchy under dynamic scheduling so that each scheduling
+#: decision carries work comparable to the paper's coarse-grained loops
+#: (see EXPERIMENTS.md).
+DYNAMIC_PARAMS: Dict[str, Dict[str, int]] = {
+    "mg": dict(g=96, levels=3, cycles=2),
+}
+
+
+def run_static_suite(cfg: MachineConfig = PAPER_MACHINE,
+                     size: str = "bench",
+                     benchmarks=STATIC_BENCHMARKS,
+                     configs=("single", "double", "G0", "L1"),
+                     verify: bool = True,
+                     **machine_kw) -> Dict[str, Dict[str, BenchRun]]:
+    """All Figure-2/3 runs: {bench: {config: BenchRun}}."""
+    out: Dict[str, Dict[str, BenchRun]] = {}
+    for b in benchmarks:
+        out[b] = {}
+        for c in configs:
+            out[b][c] = run_benchmark(b, c, cfg=cfg, size=size,
+                                      verify=verify, **machine_kw)
+    return out
+
+
+def run_dynamic_suite(cfg: MachineConfig = PAPER_MACHINE,
+                      size: str = "bench",
+                      benchmarks=DYNAMIC_BENCHMARKS,
+                      configs=("single", "G0"),
+                      verify: bool = True,
+                      **machine_kw) -> Dict[str, Dict[str, BenchRun]]:
+    """All Figure-4/5 runs.  §5.2: comparison against one task/CMP only,
+    zero-token-global synchronization only (scheduling points make any
+    looser policy converge to G0)."""
+    out: Dict[str, Dict[str, BenchRun]] = {}
+    for b in benchmarks:
+        chunk = dynamic_chunk(b, cfg, size)
+        sched = ("dynamic", chunk)
+        params = DYNAMIC_PARAMS.get(b) if size == "bench" else None
+        out[b] = {}
+        for c in configs:
+            out[b][c] = run_benchmark(b, c, cfg=cfg, size=size,
+                                      schedule=sched, verify=verify,
+                                      params=params, **machine_kw)
+    return out

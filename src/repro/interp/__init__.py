@@ -1,0 +1,8 @@
+"""Bytecode VM with snapshot/restore (slipstream recovery substrate)."""
+
+from .events import Done, IoOut, MemRead, MemWrite, RtCall
+from .funcrunner import FunctionalRunner, GlobalStore
+from .interpreter import VM, Frame, VMError
+
+__all__ = ["Done", "IoOut", "MemRead", "MemWrite", "RtCall",
+           "FunctionalRunner", "GlobalStore", "VM", "Frame", "VMError"]

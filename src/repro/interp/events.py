@@ -1,0 +1,93 @@
+"""Yield-point events the VM hands to its hosting thread shell.
+
+The VM executes private computation synchronously (accumulating busy
+cycles) and surfaces exactly four kinds of externally-visible actions,
+which the shell services against the simulated machine:
+
+* shared-memory reads/writes (timed through the coherence protocol, and
+  -- for A-streams -- stores are suppressed / converted to prefetches),
+* runtime-library calls (barriers, scheduling, locks, ...),
+* output I/O,
+* termination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+__all__ = ["MemRead", "MemWrite", "RtCall", "IoOut", "Done", "TimeSlice"]
+
+
+class TimeSlice:
+    """The VM voluntarily yields after a long synchronous run (spin
+    loops served by cache hits must still advance simulated time)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TimeSlice()"
+
+
+class MemRead:
+    """Load of shared global ``gidx`` element ``flat`` (0 for scalars)."""
+
+    __slots__ = ("gidx", "flat")
+
+    def __init__(self, gidx: int, flat: int):
+        self.gidx = gidx
+        self.flat = flat
+
+    def __repr__(self) -> str:
+        return f"MemRead(g{self.gidx}[{self.flat}])"
+
+
+class MemWrite:
+    """Store to shared global ``gidx`` element ``flat``."""
+
+    __slots__ = ("gidx", "flat", "value")
+
+    def __init__(self, gidx: int, flat: int, value: Any):
+        self.gidx = gidx
+        self.flat = flat
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"MemWrite(g{self.gidx}[{self.flat}]={self.value!r})"
+
+
+class RtCall:
+    """Runtime-library call: barrier, sched_*, crit_*, parallel_*, ..."""
+
+    __slots__ = ("name", "static", "args")
+
+    def __init__(self, name: str, static: Tuple, args: Tuple):
+        self.name = name
+        self.static = static
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"RtCall({self.name}, static={self.static}, args={self.args})"
+
+
+class IoOut:
+    """print(...) -- output I/O (skipped by A-streams)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Tuple):
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"IoOut({self.values!r})"
+
+
+class Done:
+    """The VM's entry function returned."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Done({self.value!r})"

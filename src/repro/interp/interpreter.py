@@ -1,0 +1,379 @@
+"""The bytecode VM.
+
+Deliberately *not* built on Python generators: the whole machine state
+(call stack, operand stacks, locals, program counters) is explicit so it
+can be snapshotted at barriers and restored by slipstream recovery --
+the same reason the paper's recovery can re-fork an A-stream from its
+R-stream's architectural state.
+
+``run()`` executes until the next externally-visible event (shared
+memory op, runtime call, I/O, or completion) and returns it; the busy
+cycles executed since the previous event accumulate in ``pending_cycles``
+and are drained by the hosting shell with ``take_cycles()``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from ..compiler.bytecode import (BINOP_COST, ICALL_COST, OP_COST, Code,
+                                 CompiledProgram)
+from .events import Done, IoOut, MemRead, MemWrite, RtCall, TimeSlice
+
+__all__ = ["Frame", "VM", "VMError", "MISS"]
+
+#: Sentinel a fast_read callback returns to force the slow (timed) path.
+MISS = _MISS = object()
+
+
+class VMError(RuntimeError):
+    """Raised on VM faults (bad opcode, wild pc, integer traps)."""
+    pass
+
+
+def _as_bool(v) -> bool:
+    return bool(v)
+
+
+def _binop(op: str, a, b):
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            if b == 0:                               # integer /0 traps
+                raise VMError("integer division by zero")
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q  # C truncation
+        if b == 0:
+            # IEEE-754 / C semantics: float division by zero yields an
+            # infinity (or NaN for 0/0), it does not trap.  A-streams
+            # routinely divide by stale zeros; real hardware shrugs.
+            if a == 0:
+                return math.nan
+            return math.inf if a > 0 else -math.inf   # b is +0.0 here
+        return a / b
+    if op == "%":
+        if isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                raise VMError("integer modulo by zero")
+            r = abs(a) % abs(b)
+            return r if a >= 0 else -r                # C remainder
+        return math.fmod(a, b) if b != 0 else math.nan
+    if op == "<":
+        return 1 if a < b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    raise VMError(f"unknown binop {op!r}")
+
+
+def _sqrt(a):
+    return math.sqrt(a) if a >= 0 else math.nan      # C: sqrt(-x) = NaN
+
+
+def _exp(a):
+    try:
+        return math.exp(a)
+    except OverflowError:
+        return math.inf                              # C: exp overflow = inf
+
+
+def _log(a):
+    if a > 0:
+        return math.log(a)
+    return -math.inf if a == 0 else math.nan         # C semantics
+
+
+def _pow(a, b):
+    try:
+        return math.pow(a, b)
+    except (OverflowError, ValueError):
+        return math.nan
+
+
+_INTRINSICS = {
+    "sqrt": _sqrt,
+    "fabs": lambda a: abs(a),
+    "exp": _exp,
+    "log": _log,
+    "pow": _pow,
+    "min": lambda a, b: a if a < b else b,
+    "max": lambda a, b: a if a > b else b,
+    "mod": lambda a, b: _binop("%", a, b),
+    "floor": lambda a: math.floor(a),
+}
+
+
+class Frame:
+    """One activation record: code, pc, operand stack, locals."""
+    __slots__ = ("fidx", "code", "pc", "stack", "locals")
+
+    def __init__(self, fidx: int, code: Code, args: Tuple = ()):
+        self.fidx = fidx
+        self.code = code
+        self.pc = 0
+        self.stack: List[Any] = []
+        self.locals: List[Any] = [0] * code.n_locals
+        for i, a in enumerate(args):
+            self.locals[i] = a
+        for slot, typ, dims in code.private_arrays:
+            dtype = np.int64 if typ == "int" else np.float64
+            self.locals[slot] = np.zeros(dims, dtype=dtype).reshape(-1)
+
+    def clone(self) -> "Frame":
+        """Deep-enough copy for snapshots (private arrays copied)."""
+        f = Frame.__new__(Frame)
+        f.fidx = self.fidx
+        f.code = self.code
+        f.pc = self.pc
+        f.stack = list(self.stack)
+        f.locals = [v.copy() if isinstance(v, np.ndarray) else v
+                    for v in self.locals]
+        return f
+
+
+class VM:
+    """One thread of execution over a CompiledProgram."""
+
+    #: Instructions executed per run() slice before a forced TimeSlice
+    #: yield.  Bounds how long pure compute (or a spin loop satisfied by
+    #: the synchronous fast path) can hold the simulated clock still.
+    MAX_SLICE = 20_000
+
+    def __init__(self, program: CompiledProgram, entry_fidx: int,
+                 args: Tuple = ()):
+        self.program = program
+        self.frames: List[Frame] = [
+            Frame(entry_fidx, program.funcs[entry_fidx], args)]
+        self.pending_cycles: float = 0.0
+        self._pending_push: bool = False
+        self.done: bool = False
+        self.result: Any = None
+        # Optional synchronous memory fast paths installed by the shell:
+        # fast_read(gidx, flat) -> value or _MISS; fast_write(gidx, flat,
+        # value) -> True if fully handled.  They keep cache *hits* out of
+        # the event engine.
+        self.fast_read = None
+        self.fast_write = None
+
+    # ----------------------------------------------------------- interface
+
+    def push(self, value: Any) -> None:
+        """Provide the result of the event just serviced (loads, rt calls
+        that return values)."""
+        self.frames[-1].stack.append(value)
+        self._pending_push = False
+
+    def take_cycles(self) -> float:
+        """Drain and return busy cycles accumulated since last drain."""
+        c = self.pending_cycles
+        self.pending_cycles = 0.0
+        return c
+
+    def snapshot(self) -> List[Frame]:
+        """Deep-copy the architectural state (for slipstream recovery)."""
+        return [f.clone() for f in self.frames]
+
+    def restore(self, snap: List[Frame]) -> None:
+        """Adopt a snapshot (slipstream recovery re-fork)."""
+        self.frames = [f.clone() for f in snap]
+        self.done = False
+        self._pending_push = False
+
+    @property
+    def depth(self) -> int:
+        """Current call-stack depth."""
+        return len(self.frames)
+
+    # ----------------------------------------------------------- execution
+
+    def run(self):
+        """Execute until the next event and return it."""
+        if self.done:
+            return Done(self.result)
+        if self._pending_push:
+            raise VMError("event result was never pushed")
+        cost = OP_COST
+        budget = self.MAX_SLICE
+        while True:
+            frame = self.frames[-1]
+            instrs = frame.code.instrs
+            stack = frame.stack
+            locs = frame.locals
+            pc = frame.pc
+            cycles = 0.0
+            try:
+                while True:
+                    ins = instrs[pc]
+                    op = ins[0]
+                    cycles += cost[op]
+                    if op == "lload":
+                        stack.append(locs[ins[1]])
+                        pc += 1
+                    elif op == "lstore":
+                        locs[ins[1]] = stack.pop()
+                        pc += 1
+                    elif op == "const":
+                        stack.append(ins[1])
+                        pc += 1
+                    elif op == "binop":
+                        o = ins[1]
+                        b = stack.pop()
+                        a = stack.pop()
+                        stack.append(_binop(o, a, b))
+                        cycles += BINOP_COST.get(o, 0)
+                        pc += 1
+                    elif op == "jump":
+                        t = ins[1]
+                        if t < pc:
+                            # Backward jump: loop boundary.  Enforce the
+                            # slice budget here so spin loops served by
+                            # the fast path still yield simulated time.
+                            budget -= 1
+                            if budget <= 0:
+                                frame.pc = t
+                                self.pending_cycles += cycles
+                                return TimeSlice()
+                        pc = t
+                    elif op == "jfalse":
+                        pc = ins[1] if not stack.pop() else pc + 1
+                    elif op == "geload":
+                        flat = stack.pop()
+                        if self.fast_read is not None:
+                            v = self.fast_read(ins[1], flat)
+                            if v is not _MISS:
+                                stack.append(v)
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        self._pending_push = True
+                        return MemRead(ins[1], flat)
+                    elif op == "gestore":
+                        v = stack.pop()
+                        flat = stack.pop()
+                        if self.fast_write is not None and \
+                                self.fast_write(ins[1], flat, v):
+                            pc += 1
+                            continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        return MemWrite(ins[1], flat, v)
+                    elif op == "gload":
+                        if self.fast_read is not None:
+                            v = self.fast_read(ins[1], 0)
+                            if v is not _MISS:
+                                stack.append(v)
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        self._pending_push = True
+                        return MemRead(ins[1], 0)
+                    elif op == "gstore":
+                        v = stack.pop()
+                        if self.fast_write is not None and \
+                                self.fast_write(ins[1], 0, v):
+                            pc += 1
+                            continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        return MemWrite(ins[1], 0, v)
+                    elif op == "aload":
+                        flat = stack.pop()
+                        stack.append(locs[ins[1]][flat].item())
+                        pc += 1
+                    elif op == "astore":
+                        v = stack.pop()
+                        flat = stack.pop()
+                        locs[ins[1]][flat] = v
+                        pc += 1
+                    elif op == "unop":
+                        a = stack.pop()
+                        stack.append(-a if ins[1] == "-"
+                                     else (0 if a else 1))
+                        pc += 1
+                    elif op == "dup":
+                        stack.append(stack[-1])
+                        pc += 1
+                    elif op == "pop":
+                        stack.pop()
+                        pc += 1
+                    elif op == "jnone":
+                        if stack[-1] is None:
+                            stack.pop()
+                            pc = ins[1]
+                        else:
+                            pc += 1
+                    elif op == "unpack2":
+                        a, b = stack.pop()
+                        stack.append(a)
+                        stack.append(b)
+                        pc += 1
+                    elif op == "icall":
+                        name, nargs = ins[1]
+                        cycles += ICALL_COST.get(name, 1)
+                        if nargs == 1:
+                            stack.append(_INTRINSICS[name](stack.pop()))
+                        else:
+                            b = stack.pop()
+                            a = stack.pop()
+                            stack.append(_INTRINSICS[name](a, b))
+                        pc += 1
+                    elif op == "call":
+                        fidx, nargs = ins[1]
+                        args = tuple(stack[len(stack) - nargs:])
+                        del stack[len(stack) - nargs:]
+                        frame.pc = pc + 1
+                        nf = Frame(fidx, self.program.funcs[fidx], args)
+                        self.frames.append(nf)
+                        break           # switch to the new frame
+                    elif op == "ret":
+                        rv = stack.pop() if stack else 0
+                        self.frames.pop()
+                        if not self.frames:
+                            self.done = True
+                            self.result = rv
+                            self.pending_cycles += cycles
+                            return Done(rv)
+                        self.frames[-1].stack.append(rv)
+                        break           # back to the caller's frame
+                    elif op == "rt":
+                        name, static, nargs = ins[1]
+                        if nargs:
+                            args = tuple(stack[len(stack) - nargs:])
+                            del stack[len(stack) - nargs:]
+                        else:
+                            args = ()
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles + 1
+                        return RtCall(name, static, args)
+                    elif op == "print":
+                        nargs = ins[1]
+                        vals = tuple(stack[len(stack) - nargs:])
+                        del stack[len(stack) - nargs:]
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles + 1
+                        return IoOut(vals)
+                    else:
+                        raise VMError(f"unknown opcode {op!r}")
+            except IndexError:
+                raise VMError(
+                    f"VM fault in {frame.code.name} at pc={pc}: "
+                    f"{instrs[pc] if pc < len(instrs) else 'pc out of range'}"
+                ) from None
+            self.pending_cycles += cycles

@@ -1,0 +1,15 @@
+"""SlipC front end: lexer, parser, OpenMP pragmas, semantic analysis."""
+
+from . import ast
+from .errors import CompileError, LexError, ParseError, SemanticError
+from .lexer import Token, tokenize
+from .parser import parse, parse_expression
+from .pragmas import Directive, parse_pragma
+from .sema import GlobalSym, RegionInfo, SemaInfo, analyze
+
+__all__ = [
+    "ast", "CompileError", "LexError", "ParseError", "SemanticError",
+    "Token", "tokenize", "parse", "parse_expression",
+    "Directive", "parse_pragma",
+    "GlobalSym", "RegionInfo", "SemaInfo", "analyze",
+]

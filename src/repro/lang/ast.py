@@ -1,0 +1,405 @@
+"""AST node definitions for SlipC (the analogue of Omni's Xobject IR).
+
+Nodes are plain attribute holders with a ``line`` for diagnostics.
+Directive nodes (OmpParallel, OmpFor, ...) wrap the statements they
+apply to, mirroring how Omni attaches pragma info to the parallel flow
+graph before outlining.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Node", "Program", "VarDecl", "FuncDef", "Block",
+    "Assign", "If", "For", "While", "Return", "Break", "Continue",
+    "ExprStmt", "Print",
+    "Num", "Var", "Index", "BinOp", "UnOp", "Call",
+    "OmpParallel", "OmpFor", "OmpSingle", "OmpMaster", "OmpCritical",
+    "OmpAtomic", "OmpBarrier", "OmpFlush", "OmpSections", "OmpSection",
+    "OmpSlipstream", "Schedule", "Reduction",
+]
+
+
+class Node:
+    """Base class: every AST node carries a source line."""
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+    def __repr__(self) -> str:
+        pairs = []
+        for klass in type(self).__mro__:
+            for s in getattr(klass, "__slots__", ()):
+                if s != "line":
+                    pairs.append(f"{s}={getattr(self, s)!r}")
+        return f"{type(self).__name__}({', '.join(pairs)})"
+
+
+# --------------------------------------------------------------- top level
+
+class Program(Node):
+    """A full translation unit: file-scope declarations + functions."""
+    __slots__ = ("globals", "funcs")
+
+    def __init__(self, globals_: List["VarDecl"], funcs: List["FuncDef"],
+                 line: int = 0):
+        super().__init__(line)
+        self.globals = globals_
+        self.funcs = funcs
+
+
+class VarDecl(Node):
+    """``double a[64][64];`` or ``int n;`` with optional scalar init."""
+
+    __slots__ = ("typ", "name", "dims", "init")
+
+    def __init__(self, typ: str, name: str, dims: Sequence[int],
+                 init: Optional["Node"] = None, line: int = 0):
+        super().__init__(line)
+        self.typ = typ              # "int" | "double"
+        self.name = name
+        self.dims = tuple(dims)     # () for scalars
+        self.init = init
+
+
+class FuncDef(Node):
+    """Function definition with typed parameters and a body block."""
+    __slots__ = ("ret", "name", "params", "body")
+
+    def __init__(self, ret: str, name: str,
+                 params: List[Tuple[str, str]], body: "Block", line: int = 0):
+        super().__init__(line)
+        self.ret = ret
+        self.name = name
+        self.params = params        # [(type, name), ...]
+        self.body = body
+
+
+# --------------------------------------------------------------- statements
+
+class Block(Node):
+    """Braced statement list ({...}); opens a C lexical scope."""
+    __slots__ = ("stmts", "is_scope")
+
+    def __init__(self, stmts: List[Node], line: int = 0,
+                 is_scope: bool = True):
+        super().__init__(line)
+        self.stmts = stmts
+        #: False for parser-synthesized wrappers (comma declaration
+        #: lists), which must not open a C lexical scope.
+        self.is_scope = is_scope
+
+
+class Assign(Node):
+    """``target = value`` where target is Var or Index."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Node, value: Node, line: int = 0):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class If(Node):
+    """if/else statement."""
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Node, then: Node,
+                 orelse: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class For(Node):
+    """C-style ``for (init; cond; step) body`` (init/step are Assigns)."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init: Optional[Node], cond: Optional[Node],
+                 step: Optional[Node], body: Node, line: int = 0):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class While(Node):
+    """while loop."""
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Node, body: Node, line: int = 0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class Return(Node):
+    """return statement (value optional)."""
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[Node], line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    """break statement."""
+    __slots__ = ()
+
+
+class Continue(Node):
+    """continue statement."""
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    """Expression evaluated for effect (e.g. a call)."""
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Node, line: int = 0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Print(Node):
+    """``print(fmt, args...)`` -- an output I/O operation."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: List[Node], line: int = 0):
+        super().__init__(line)
+        self.args = args
+
+
+# -------------------------------------------------------------- expressions
+
+class Num(Node):
+    """Numeric (or string, for print formats) literal."""
+    __slots__ = ("value",)
+
+    def __init__(self, value, line: int = 0):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Node):
+    """Scalar variable reference."""
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int = 0):
+        super().__init__(line)
+        self.name = name
+
+
+class Index(Node):
+    """``arr[i][j]...`` -- multi-dimensional element access."""
+
+    __slots__ = ("name", "indices")
+
+    def __init__(self, name: str, indices: List[Node], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.indices = indices
+
+
+class BinOp(Node):
+    """Binary operation (arithmetic, comparison, logical)."""
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Node, rhs: Node, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnOp(Node):
+    """Unary operation (- or !)."""
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Node, line: int = 0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Call(Node):
+    """Function or intrinsic call."""
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Node], line: int = 0):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+# ---------------------------------------------------------- OpenMP clauses
+
+class Schedule:
+    """schedule(kind[, chunk]) clause."""
+
+    __slots__ = ("kind", "chunk")
+
+    KINDS = ("static", "dynamic", "guided", "runtime")
+
+    def __init__(self, kind: str = "static", chunk: Optional[int] = None):
+        if kind not in self.KINDS:
+            raise ValueError(f"bad schedule kind {kind!r}")
+        self.kind = kind
+        self.chunk = chunk
+
+    def __repr__(self) -> str:
+        return f"Schedule({self.kind},{self.chunk})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Schedule)
+                and (self.kind, self.chunk) == (other.kind, other.chunk))
+
+
+class Reduction:
+    """reduction(op: var, var...) clause."""
+
+    __slots__ = ("op", "names")
+
+    OPS = ("+", "*", "max", "min")
+
+    def __init__(self, op: str, names: List[str]):
+        if op not in self.OPS:
+            raise ValueError(f"bad reduction op {op!r}")
+        self.op = op
+        self.names = names
+
+    def __repr__(self) -> str:
+        return f"Reduction({self.op},{self.names})"
+
+
+# -------------------------------------------------------- OpenMP directives
+
+class OmpParallel(Node):
+    """#pragma omp parallel region with its data clauses."""
+    __slots__ = ("body", "private", "firstprivate", "shared", "reductions",
+                 "if_expr", "num_threads")
+
+    def __init__(self, body: Node, private=(), firstprivate=(), shared=(),
+                 reductions=(), if_expr=None, num_threads=None, line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.private = list(private)
+        self.firstprivate = list(firstprivate)
+        self.shared = list(shared)
+        self.reductions = list(reductions)
+        self.if_expr = if_expr
+        self.num_threads = num_threads
+
+
+class OmpFor(Node):
+    """#pragma omp for worksharing loop with schedule/clauses."""
+    __slots__ = ("loop", "schedule", "nowait", "private", "lastprivate",
+                 "reductions")
+
+    def __init__(self, loop: For, schedule: Optional[Schedule] = None,
+                 nowait: bool = False, private=(), reductions=(),
+                 lastprivate=(), line: int = 0):
+        super().__init__(line)
+        self.loop = loop
+        self.schedule = schedule
+        self.nowait = nowait
+        self.private = list(private)
+        self.lastprivate = list(lastprivate)
+        self.reductions = list(reductions)
+
+
+class OmpSingle(Node):
+    """#pragma omp single block (A-streams skip it, SS 3.1)."""
+    __slots__ = ("body", "nowait")
+
+    def __init__(self, body: Node, nowait: bool = False, line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.nowait = nowait
+
+
+class OmpMaster(Node):
+    """#pragma omp master block (A-stream of the master executes it)."""
+    __slots__ = ("body",)
+
+    def __init__(self, body: Node, line: int = 0):
+        super().__init__(line)
+        self.body = body
+
+
+class OmpCritical(Node):
+    """#pragma omp critical [name] block (A-streams skip it)."""
+    __slots__ = ("body", "name")
+
+    def __init__(self, body: Node, name: str = "", line: int = 0):
+        super().__init__(line)
+        self.body = body
+        self.name = name or "_default_"
+
+
+class OmpAtomic(Node):
+    """#pragma omp atomic update (A-streams execute it, SS 3.1)."""
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt: Assign, line: int = 0):
+        super().__init__(line)
+        self.stmt = stmt
+
+
+class OmpBarrier(Node):
+    """#pragma omp barrier (an A-R token synchronization point)."""
+    __slots__ = ()
+
+
+class OmpFlush(Node):
+    """#pragma omp flush: void on hardware-coherent machines."""
+    __slots__ = ("names",)
+
+    def __init__(self, names=(), line: int = 0):
+        super().__init__(line)
+        self.names = list(names)
+
+
+class OmpSections(Node):
+    """#pragma omp sections functional-parallelism construct."""
+    __slots__ = ("sections", "nowait")
+
+    def __init__(self, sections: List["OmpSection"], nowait: bool = False,
+                 line: int = 0):
+        super().__init__(line)
+        self.sections = sections
+        self.nowait = nowait
+
+
+class OmpSection(Node):
+    """One #pragma omp section within a sections construct."""
+    __slots__ = ("body",)
+
+    def __init__(self, body: Node, line: int = 0):
+        super().__init__(line)
+        self.body = body
+
+
+class OmpSlipstream(Node):
+    """The paper's new directive: ``#pragma omp slipstream(type[, tokens])``
+    optionally guarded by ``if(expr)``."""
+
+    __slots__ = ("sync_type", "tokens", "if_expr")
+
+    TYPES = ("GLOBAL_SYNC", "LOCAL_SYNC", "RUNTIME_SYNC", "NONE")
+
+    def __init__(self, sync_type: str, tokens: int = 0,
+                 if_expr: Optional[Node] = None, line: int = 0):
+        super().__init__(line)
+        if sync_type not in self.TYPES:
+            raise ValueError(f"bad slipstream sync type {sync_type!r}")
+        self.sync_type = sync_type
+        self.tokens = tokens
+        self.if_expr = if_expr

@@ -1,0 +1,29 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError", "LexError", "ParseError", "SemanticError"]
+
+
+class CompileError(Exception):
+    """Base class for SlipC compilation errors, carrying a source line."""
+
+    def __init__(self, msg: str, line: int = 0):
+        self.msg = msg
+        self.line = line
+        super().__init__(f"line {line}: {msg}" if line else msg)
+
+
+class LexError(CompileError):
+    """Tokenizer error."""
+    pass
+
+
+class ParseError(CompileError):
+    """Syntax or pragma error."""
+    pass
+
+
+class SemanticError(CompileError):
+    """Symbol/classification/lowering error."""
+    pass

@@ -1,0 +1,135 @@
+"""Tokenizer for SlipC, the C-like subset our OpenMP compiler accepts.
+
+SlipC is the stand-in for the C front end of the Omni compiler: enough C
+to express the mini-NAS kernels (scalars, multi-dimensional arrays,
+functions, control flow, arithmetic) plus ``#pragma omp`` lines, which
+are lexed into a dedicated PRAGMA token carrying the raw directive text
+(parsed separately by ``pragmas.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "int", "double", "float", "void", "if", "else", "for", "while",
+    "return", "break", "continue",
+}
+
+_TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/="}
+_ONE_CHAR = set("+-*/%<>=!(){}[];,&|")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind, text, and source line."""
+    kind: str       # 'id' | 'num' | 'str' | 'kw' | 'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind},{self.text!r},@{self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a full SlipC translation unit."""
+    return list(_scan(source))
+
+
+def _scan(src: str) -> Iterator[Token]:
+    i, n, line = 0, len(src), 1
+    while i < n:
+        c = src[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        # comments
+        if src.startswith("//", i):
+            j = src.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if src.startswith("/*", i):
+            j = src.find("*/", i)
+            if j < 0:
+                raise LexError("unterminated /* comment", line)
+            line += src.count("\n", i, j)
+            i = j + 2
+            continue
+        # pragma lines (may be continued with backslash-newline)
+        if c == "#" :
+            j = i
+            while j < n:
+                k = src.find("\n", j)
+                if k < 0:
+                    k = n
+                if src[k - 1] == "\\" and k < n:
+                    j = k + 1
+                    continue
+                break
+            text = src[i:k].replace("\\\n", " ")
+            yield Token("pragma", text, line)
+            line += src.count("\n", i, k)
+            i = k
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            word = src[i:j]
+            yield Token("kw" if word in KEYWORDS else "id", word, line)
+            i = j
+            continue
+        # numbers (int or float, with optional exponent)
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                ch = src[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif ch in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and src[j] in "+-":
+                        j += 1
+                else:
+                    break
+            yield Token("num", src[i:j], line)
+            i = j
+            continue
+        # string literals (print formats)
+        if c == '"':
+            j = i + 1
+            while j < n and src[j] != '"':
+                if src[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line)
+            yield Token("str", src[i + 1:j], line)
+            i = j + 1
+            continue
+        # operators
+        if src[i:i + 2] in _TWO_CHAR:
+            yield Token("op", src[i:i + 2], line)
+            i += 2
+            continue
+        if c in _ONE_CHAR:
+            yield Token("op", c, line)
+            i += 1
+            continue
+        raise LexError(f"unexpected character {c!r}", line)
+    yield Token("eof", "", line)

@@ -1,0 +1,168 @@
+"""``#pragma omp`` directive parsing.
+
+Turns the raw pragma text captured by the lexer into a structured
+:class:`Directive` -- the directive name plus its clauses.  Expression
+clauses (``if(...)``) keep their source text; the statement parser
+converts them to AST with its own expression parser.
+
+Supported directives: parallel, for, parallel for, single, master,
+critical, atomic, barrier, flush, sections, section, parallel sections,
+and the paper's ``slipstream`` extension.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .ast import Reduction, Schedule
+from .errors import ParseError
+
+__all__ = ["Directive", "parse_pragma"]
+
+_DIRECTIVES = (
+    "parallel for", "parallel sections", "parallel", "for", "single",
+    "master", "critical", "atomic", "barrier", "flush", "sections",
+    "section", "slipstream",
+)
+
+_CLAUSE_RE = re.compile(r"\s*([a-z_]+)\s*(\(((?:[^()]|\([^()]*\))*)\))?",
+                        re.IGNORECASE)
+
+
+class Directive:
+    """A parsed pragma: name + clause values."""
+
+    __slots__ = ("name", "line", "private", "firstprivate",
+                 "lastprivate", "shared", "reductions", "schedule",
+                 "nowait", "if_text", "num_threads", "critical_name",
+                 "flush_names", "slip_type", "slip_tokens")
+
+    def __init__(self, name: str, line: int):
+        self.name = name
+        self.line = line
+        self.private: List[str] = []
+        self.firstprivate: List[str] = []
+        self.lastprivate: List[str] = []
+        self.shared: List[str] = []
+        self.reductions: List[Reduction] = []
+        self.schedule: Optional[Schedule] = None
+        self.nowait = False
+        self.if_text: Optional[str] = None
+        self.num_threads: Optional[str] = None
+        self.critical_name = ""
+        self.flush_names: List[str] = []
+        self.slip_type: Optional[str] = None
+        self.slip_tokens = 0
+
+    def __repr__(self) -> str:
+        return f"Directive({self.name!r}@{self.line})"
+
+
+def _split_names(body: str) -> List[str]:
+    return [x.strip() for x in body.split(",") if x.strip()]
+
+
+def parse_pragma(text: str, line: int) -> Optional[Directive]:
+    """Parse one ``#pragma`` line.  Returns None for non-omp pragmas
+    (which, like real compilers, we silently ignore)."""
+    m = re.match(r"#\s*pragma\s+(\w+)\s*(.*)$", text.strip(), re.DOTALL)
+    if not m:
+        raise ParseError(f"malformed pragma: {text!r}", line)
+    if m.group(1) != "omp":
+        return None
+    rest = m.group(2).strip()
+    name = None
+    for d in _DIRECTIVES:
+        if rest == d or rest.startswith(d + " ") or rest.startswith(d + "("):
+            name = d
+            rest = rest[len(d):].strip()
+            break
+    if name is None:
+        raise ParseError(f"unknown OpenMP directive in {text!r}", line)
+    dv = Directive(name, line)
+
+    if name == "slipstream":
+        _parse_slipstream_args(dv, rest, line)
+        return dv
+    if name == "critical":
+        cm = re.match(r"\(\s*(\w+)\s*\)\s*(.*)$", rest)
+        if cm:
+            dv.critical_name = cm.group(1)
+            rest = cm.group(2)
+    if name == "flush":
+        if rest.startswith("("):
+            if not rest.endswith(")"):
+                raise ParseError("malformed flush variable list", line)
+            dv.flush_names = _split_names(rest[1:-1])
+        elif rest:
+            raise ParseError(f"junk after flush: {rest!r}", line)
+        return dv
+
+    for cm in _CLAUSE_RE.finditer(rest):
+        word = cm.group(1).lower()
+        body = cm.group(3)
+        if not word:
+            continue
+        if word == "private":
+            dv.private += _split_names(_req(body, word, line))
+        elif word == "firstprivate":
+            dv.firstprivate += _split_names(_req(body, word, line))
+        elif word == "lastprivate":
+            dv.lastprivate += _split_names(_req(body, word, line))
+        elif word == "shared":
+            dv.shared += _split_names(_req(body, word, line))
+        elif word == "reduction":
+            op, _, names = _req(body, word, line).partition(":")
+            dv.reductions.append(Reduction(op.strip(), _split_names(names)))
+        elif word == "schedule":
+            parts = _split_names(_req(body, word, line))
+            kind = parts[0].lower()
+            chunk = int(parts[1]) if len(parts) > 1 else None
+            try:
+                dv.schedule = Schedule(kind, chunk)
+            except ValueError as e:
+                raise ParseError(str(e), line) from None
+        elif word == "nowait":
+            dv.nowait = True
+        elif word == "if":
+            dv.if_text = _req(body, word, line)
+        elif word == "num_threads":
+            dv.num_threads = _req(body, word, line)
+        elif word == "flush" or (name == "flush" and word == name):
+            pass
+        elif word == "default":
+            pass  # default(shared) is our model anyway
+        else:
+            raise ParseError(f"unknown clause {word!r} on omp {name}", line)
+
+    if name == "flush" and rest.startswith("("):
+        dv.flush_names = _split_names(rest.strip("() "))
+    return dv
+
+
+def _req(body: Optional[str], word: str, line: int) -> str:
+    if body is None:
+        raise ParseError(f"clause {word!r} requires parentheses", line)
+    return body
+
+
+def _parse_slipstream_args(dv: Directive, rest: str, line: int) -> None:
+    """slipstream(TYPE[, tokens]) [if(expr)]"""
+    m = re.match(r"\(\s*([A-Za-z_]+)\s*(?:,\s*(\d+)\s*)?\)\s*(.*)$", rest,
+                 re.DOTALL)
+    if not m:
+        raise ParseError(
+            "slipstream directive needs (type[, tokens])", line)
+    dv.slip_type = m.group(1).upper()
+    if dv.slip_type not in ("GLOBAL_SYNC", "LOCAL_SYNC", "RUNTIME_SYNC",
+                            "NONE"):
+        raise ParseError(f"bad slipstream type {dv.slip_type!r}", line)
+    dv.slip_tokens = int(m.group(2) or 0)
+    tail = m.group(3).strip()
+    if tail:
+        im = re.match(r"if\s*\(((?:[^()]|\([^()]*\))*)\)\s*$", tail)
+        if not im:
+            raise ParseError(f"junk after slipstream directive: {tail!r}",
+                             line)
+        dv.if_text = im.group(1)

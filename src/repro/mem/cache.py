@@ -1,0 +1,174 @@
+"""Set-associative caches with LRU replacement.
+
+One :class:`Cache` class serves both levels: per-CPU L1s (which only
+need presence/valid bits -- timing filters) and the per-CMP shared L2
+(whose lines carry coherence state plus the slipstream classification
+metadata used for the paper's Figures 3 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from ..config.machine import CacheConfig
+
+__all__ = ["CacheLine", "Cache", "MESIState"]
+
+
+class MESIState:
+    """Line states.  The L2 protocol is a directory MSI (the paper's
+    'invalidate-based fully-mapped directory protocol'); EXCLUSIVE here
+    means modifiable ownership (M/E folded together)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+
+    NAMES = {0: "I", 1: "S", 2: "E"}
+
+
+class CacheLine:
+    """One cache line's tag-store entry."""
+
+    __slots__ = ("line_addr", "state", "dirty",
+                 # --- slipstream classification metadata (L2 only) ---
+                 "fetcher",        # "A" | "R" | None: which stream filled it
+                 "fill_kind",      # "read" | "rdex"
+                 "sibling_hit",    # sibling stream referenced after fill?
+                 "merged_late",    # sibling merged into the in-flight miss?
+                 "fill_time", "last_ref_time", "epoch")
+
+    def __init__(self, line_addr: int, state: int = MESIState.SHARED):
+        self.line_addr = line_addr
+        self.state = state
+        self.dirty = False
+        self.fetcher: Optional[str] = None
+        self.fill_kind = "read"
+        self.sibling_hit = False
+        self.merged_late = False
+        self.fill_time = 0.0
+        self.last_ref_time = 0.0
+        self.epoch = -1
+
+    def __repr__(self) -> str:
+        return (f"CacheLine({self.line_addr:#x}, "
+                f"{MESIState.NAMES[self.state]}{'*' if self.dirty else ''})")
+
+
+class Cache:
+    """Tag store: set-associative, true-LRU, write-allocate.
+
+    Values are not stored -- the simulator tracks timing and coherence
+    only; program values live in the interpreter's arrays (see
+    DESIGN.md).  ``on_evict`` is called for every line displaced by a
+    fill, letting the L2 finalize slipstream classification and notify
+    the directory of silent drops / writebacks.
+    """
+
+    def __init__(self, cfg: CacheConfig, name: str = "",
+                 on_evict: Optional[Callable[[CacheLine], None]] = None):
+        self.cfg = cfg
+        self.name = name
+        self.on_evict = on_evict
+        self._sets: List[List[CacheLine]] = [[] for _ in range(cfg.num_sets)]
+        self._set_mask = cfg.num_sets - 1
+        self._line_shift = cfg.line_bytes.bit_length() - 1
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- address helpers -----------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Align an address down to its line base."""
+        return addr >> self._line_shift << self._line_shift
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr >> self._line_shift) & self._set_mask
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line containing ``addr`` (or None),
+        updating LRU order and hit/miss counters."""
+        la = self.line_addr(addr)
+        s = self._sets[self._set_index(la)]
+        for i, line in enumerate(s):
+            if line.line_addr == la and line.state != MESIState.INVALID:
+                if touch and i != len(s) - 1:
+                    s.append(s.pop(i))
+                self.hits += 1
+                return line
+        self.misses += 1
+        return None
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """lookup() without statistics or LRU side effects."""
+        la = self.line_addr(addr)
+        for line in self._sets[self._set_index(la)]:
+            if line.line_addr == la and line.state != MESIState.INVALID:
+                return line
+        return None
+
+    def insert(self, addr: int, state: int) -> CacheLine:
+        """Fill a new line (evicting the LRU victim if the set is full)
+        and return it.  If the line is already resident its state is
+        upgraded instead."""
+        la = self.line_addr(addr)
+        existing = self.peek(la)
+        if existing is not None:
+            existing.state = max(existing.state, state)
+            return existing
+        s = self._sets[self._set_index(la)]
+        if len(s) >= self.cfg.assoc:
+            victim = s.pop(0)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
+        line = CacheLine(la, state)
+        s.append(line)
+        return line
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Remove the line containing ``addr``; returns it if present."""
+        la = self.line_addr(addr)
+        s = self._sets[self._set_index(la)]
+        for i, line in enumerate(s):
+            if line.line_addr == la and line.state != MESIState.INVALID:
+                s.pop(i)
+                self.invalidations += 1
+                return line
+        return None
+
+    def downgrade(self, addr: int) -> Optional[CacheLine]:
+        """EXCLUSIVE -> SHARED (for interventions); clears dirty."""
+        line = self.peek(addr)
+        if line is not None and line.state == MESIState.EXCLUSIVE:
+            line.state = MESIState.SHARED
+            line.dirty = False
+        return line
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over all resident lines."""
+        for s in self._sets:
+            yield from s
+
+    def resident_count(self) -> int:
+        """Number of valid resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def clear(self) -> None:
+        """Drop every line (no callbacks)."""
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.accesses if self.accesses else 0.0

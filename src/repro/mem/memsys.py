@@ -1,0 +1,580 @@
+"""The coherent memory system: L1s, shared L2s, directory protocol.
+
+This is the substitute for SimOS's NUMA memory model.  Latencies compose
+from the paper's Table-1 parameters (see ``MachineConfig``): an
+uncontended local L2 miss costs 170 ns and a remote clean miss 290 ns,
+both validated by ``benchmarks/bench_table1_latencies.py``.  Contention
+is modelled -- as in the paper -- at the network inputs and outputs
+(``ni_in``/``ni_out``), at the home directory/memory controller
+(``dirctrl``/``mem``), and on each CMP's local bus.
+
+Only *shared* addresses flow through here.  Private data is CMP-local by
+the paper's slipstream model ("control flow and address generation rely
+mostly on private variables"), so the processor charges private accesses
+a fixed L1 hit without simulating them.
+
+Each L2 fill carries the slipstream classification record (which stream
+fetched it, read vs read-exclusive) that feeds Figures 3 and 5; see
+``classify.py`` for the Timely/Late/Only rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config.machine import MachineConfig
+from ..sim import Counter, Engine
+from ..sim.resources import Server
+from .address import Placement, SharedAllocator, is_shared_addr
+from .cache import Cache, CacheLine, MESIState
+from .classify import ClassStats
+from .directory import Directory, DirState
+
+__all__ = ["AccessResult", "NodeMemory", "CoherentMemorySystem",
+           "PerfectMemory"]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one shared-memory access, for the caller's accounting."""
+
+    level: str          # "l1" | "l2" | "local" | "remote" | "remote3" | "merged"
+    cycles: float       # total latency the caller experienced
+
+    @property
+    def was_miss(self) -> bool:
+        """True when the access left the CMP."""
+        return self.level not in ("l1", "l2")
+
+
+class _Mshr:
+    """One outstanding L2 miss; secondary requesters merge onto it."""
+
+    __slots__ = ("event", "fetcher", "kind", "late", "is_prefetch")
+
+    def __init__(self, event, fetcher: str, kind: str, is_prefetch: bool):
+        self.event = event
+        self.fetcher = fetcher
+        self.kind = kind
+        self.late = False          # a sibling-stream request merged in
+        self.is_prefetch = is_prefetch
+
+
+class NodeMemory:
+    """Per-CMP memory-side hardware: L1s, shared L2, NI, controllers."""
+
+    def __init__(self, engine: Engine, cfg: MachineConfig, node_id: int,
+                 on_l2_evict):
+        self.node_id = node_id
+        self.l1s: List[Cache] = [
+            Cache(cfg.l1, name=f"n{node_id}.l1[{c}]")
+            for c in range(cfg.cpus_per_cmp)]
+        self.l2 = Cache(cfg.l2, name=f"n{node_id}.l2", on_evict=on_l2_evict)
+        self.bus = Server(engine, f"n{node_id}.bus")
+        self.ni_in = Server(engine, f"n{node_id}.ni_in")
+        self.ni_out = Server(engine, f"n{node_id}.ni_out")
+        self.dirctrl = Server(engine, f"n{node_id}.dirctrl")
+        self.mem = Server(engine, f"n{node_id}.mem")
+        self.mshrs: Dict[int, _Mshr] = {}
+        self.outstanding_prefetches = 0
+        self.epoch = 0
+        self.stats = Counter()
+
+
+class CoherentMemorySystem:
+    """Directory-coherent DSM across ``cfg.n_cmps`` CMP nodes."""
+
+    #: Prefetch-exclusive conversions are dropped beyond this many in
+    #: flight per node -- the paper's "no resource contention" condition.
+    MAX_PREFETCHES = 8
+
+    def __init__(self, engine: Engine, cfg: MachineConfig):
+        self.engine = engine
+        self.cfg = cfg
+        self.directory = Directory(engine)
+        self.placement = Placement(cfg.placement, cfg.n_cmps, cfg.page_bytes)
+        self.allocator = SharedAllocator()
+        self.classes = ClassStats()
+        self.nodes: List[NodeMemory] = []
+        for n in range(cfg.n_cmps):
+            self.nodes.append(NodeMemory(
+                engine, cfg, n,
+                on_l2_evict=self._make_evict_handler(n)))
+        # cycle-denominated latency components
+        self.c_bus = cfg.cycles(cfg.bus_time_ns)
+        self.c_nil = cfg.cycles(cfg.ni_local_dc_time_ns)
+        self.c_nir = cfg.cycles(cfg.ni_remote_dc_time_ns)
+        self.c_net = cfg.cycles(cfg.net_time_ns)
+        self.c_mem = cfg.cycles(cfg.mem_time_ns)
+        self.c_l1 = float(cfg.l1.hit_cycles)
+        self.c_l2 = float(cfg.l2.hit_cycles)
+        self.selfinv_drops = 0
+        #: Addresses >= this are runtime-internal (locks, barrier words,
+        #: job flags): they are timed like any shared line but excluded
+        #: from the Figure-3/5 "shared data" classification.
+        self.noclass_base: Optional[int] = None
+
+    # ------------------------------------------------------------------ utils
+
+    def line_addr(self, addr: int) -> int:
+        """Align an address to its cache line."""
+        return self.nodes[0].l2.line_addr(addr)
+
+    def _make_evict_handler(self, node_id: int):
+        def handler(line: CacheLine) -> None:
+            self._finalize_line(line)
+            self.directory.drop_node(line.line_addr, node_id)
+            for l1 in self.nodes[node_id].l1s:
+                l1.invalidate(line.line_addr)
+            if line.dirty:
+                # Background writeback: occupy the home memory controller.
+                home = self.placement.home(line.line_addr)
+                self.engine.process(
+                    self._writeback(node_id, home), name="wb")
+        return handler
+
+    def _writeback(self, node: int, home: int):
+        yield from self.nodes[node].bus.serve(self.c_bus)
+        if home != node:
+            yield from self.nodes[node].ni_out.serve(self.c_nir)
+            yield self.c_net
+        yield from self.nodes[home].mem.serve(self.c_mem)
+
+    def _finalize_line(self, line: CacheLine) -> None:
+        if line.fetcher is not None:
+            self.classes.classify_line(line)
+            line.fetcher = None
+
+    def _set_record(self, line: CacheLine, fetcher: str, kind: str,
+                    merged_late: bool) -> None:
+        """Attach a fresh classification record to a line (finalizing any
+        previous one, e.g. on a shared->exclusive upgrade)."""
+        self._finalize_line(line)
+        if (self.noclass_base is not None
+                and line.line_addr >= self.noclass_base):
+            return
+        line.fetcher = fetcher
+        line.fill_kind = kind
+        line.sibling_hit = False
+        line.merged_late = merged_late
+        line.fill_time = self.engine.now
+
+    def _touch(self, node: int, line: CacheLine, stream: str) -> None:
+        """Record a reference for classification + self-invalidation."""
+        line.last_ref_time = self.engine.now
+        line.epoch = self.nodes[node].epoch
+        if line.fetcher is not None and stream != line.fetcher:
+            line.sibling_hit = True
+
+    # ------------------------------------------------------------ public API
+
+    def l1_probe(self, node: int, cpu: int, addr: int) -> bool:
+        """Synchronous L1 load probe (caller charges the 1-cycle hit)."""
+        return self.nodes[node].l1s[cpu].lookup(addr) is not None
+
+    def try_fast_load(self, node: int, cpu: int, addr: int,
+                      stream: str):
+        """Synchronous hit path: returns the hit latency in cycles, or
+        None when the access misses the CMP (caller takes the timed
+        transaction path).  Hits have no externally visible contention,
+        so they can bypass the event engine entirely."""
+        nm = self.nodes[node]
+        if nm.l1s[cpu].lookup(addr) is not None:
+            return self.c_l1
+        if nm.l2.peek(addr) is None:
+            return None
+        line = nm.l2.lookup(addr)        # hit statistics + LRU touch
+        self._touch(node, line, stream)
+        nm.l1s[cpu].insert(self.line_addr(addr), MESIState.SHARED)
+        nm.stats.add("l2_hits")
+        nm.stats.add("loads")
+        return self.c_l2
+
+    def try_fast_store(self, node: int, cpu: int, addr: int,
+                       stream: str):
+        """Synchronous store-hit path: only an EXCLUSIVE L2 hit can
+        complete without coherence actions.  Returns cycles or None."""
+        nm = self.nodes[node]
+        line = nm.l2.peek(addr)
+        if line is None or line.state != MESIState.EXCLUSIVE:
+            return None
+        nm.l2.lookup(addr)
+        self._touch(node, line, stream)
+        line.dirty = True
+        self._store_update_l1s(nm, cpu, self.line_addr(addr))
+        nm.stats.add("l2_hits")
+        nm.stats.add("stores")
+        return self.c_l2
+
+    def prefetch_would_fire(self, node: int, addr: int) -> bool:
+        """Cheap precheck mirroring prefetch_exclusive's drop rules (with
+        the same classification side effect on an already-owned line)."""
+        nm = self.nodes[node]
+        la = self.line_addr(addr)
+        line = nm.l2.peek(la)
+        if line is not None and line.state == MESIState.EXCLUSIVE:
+            if line.fetcher is not None and line.fetcher != "A":
+                line.sibling_hit = True
+            return False
+        if la in nm.mshrs:
+            return False
+        return nm.outstanding_prefetches < self.MAX_PREFETCHES
+
+    def load(self, node: int, cpu: int, addr: int, stream: str = "R"):
+        """Generator: an L1-missing shared load.  Returns AccessResult."""
+        assert is_shared_addr(addr), hex(addr)
+        nm = self.nodes[node]
+        nm.stats.add("loads")
+        la = self.line_addr(addr)
+        start = self.engine.now
+        while True:
+            line = nm.l2.lookup(addr)
+            if line is not None:
+                yield self.c_l2
+                self._touch(node, line, stream)
+                nm.l1s[cpu].insert(la, MESIState.SHARED)
+                nm.stats.add("l2_hits")
+                return AccessResult("l2", self.engine.now - start)
+            mshr = nm.mshrs.get(la)
+            if mshr is not None:
+                # Merge onto the outstanding miss.
+                if stream != mshr.fetcher:
+                    mshr.late = True
+                nm.stats.add("mshr_merges")
+                yield mshr.event
+                continue  # re-probe: the fill is now resident (usually)
+            # Primary miss: run the GETS transaction.
+            level = yield from self._gets(node, la, stream)
+            line = nm.l2.peek(la)
+            if line is not None:
+                self._touch(node, line, stream)
+            nm.l1s[cpu].insert(la, MESIState.SHARED)
+            nm.stats.add(level)
+            return AccessResult(level, self.engine.now - start)
+
+    def store(self, node: int, cpu: int, addr: int, stream: str = "R"):
+        """Generator: a shared store (write-through L1, allocate in L2)."""
+        assert is_shared_addr(addr), hex(addr)
+        nm = self.nodes[node]
+        nm.stats.add("stores")
+        la = self.line_addr(addr)
+        start = self.engine.now
+        while True:
+            line = nm.l2.lookup(addr)
+            if line is not None and line.state == MESIState.EXCLUSIVE:
+                yield self.c_l2
+                self._touch(node, line, stream)
+                line.dirty = True
+                self._store_update_l1s(nm, cpu, la)
+                nm.stats.add("l2_hits")
+                return AccessResult("l2", self.engine.now - start)
+            mshr = nm.mshrs.get(la)
+            if mshr is not None:
+                if stream != mshr.fetcher:
+                    mshr.late = True
+                nm.stats.add("mshr_merges")
+                yield mshr.event
+                continue
+            upgrade = line is not None  # resident SHARED: permission only
+            if line is not None:
+                self._touch(node, line, stream)
+            level = yield from self._getx(node, la, stream, upgrade=upgrade)
+            self._store_update_l1s(nm, cpu, la)
+            nm.stats.add(level)
+            return AccessResult(level, self.engine.now - start)
+
+    def _store_update_l1s(self, nm: NodeMemory, cpu: int, la: int) -> None:
+        """Write-through: keep the writer's L1 copy, invalidate siblings'."""
+        for i, l1 in enumerate(nm.l1s):
+            if i != cpu:
+                l1.invalidate(la)
+        nm.l1s[cpu].insert(la, MESIState.SHARED)
+
+    def prefetch_exclusive(self, node: int, addr: int, stream: str = "A") -> bool:
+        """Non-binding prefetch-for-ownership: the A-stream's converted
+        shared store.  Fire-and-forget; returns False if dropped (line
+        already owned, already in flight, or MSHRs saturated)."""
+        assert is_shared_addr(addr), hex(addr)
+        nm = self.nodes[node]
+        la = self.line_addr(addr)
+        line = nm.l2.peek(la)
+        if line is not None and line.state == MESIState.EXCLUSIVE:
+            if line.fetcher is not None and stream != line.fetcher:
+                line.sibling_hit = True
+            return False
+        if la in nm.mshrs:
+            return False
+        if nm.outstanding_prefetches >= self.MAX_PREFETCHES:
+            nm.stats.add("prefetch_dropped")
+            return False
+        nm.outstanding_prefetches += 1
+        nm.stats.add("prefetch_ex")
+
+        def body():
+            try:
+                yield from self._getx(node, la, stream,
+                                      upgrade=nm.l2.peek(la) is not None)
+            finally:
+                nm.outstanding_prefetches -= 1
+
+        self.engine.process(body(), name=f"pfx:n{node}")
+        return True
+
+    # ------------------------------------------------------- transactions
+
+    def _request_trip_out(self, node: int, home: int):
+        """Requester -> home: bus, NI egress, network, home controller."""
+        yield from self.nodes[node].bus.serve(self.c_bus)
+        if home != node:
+            yield from self.nodes[node].ni_out.serve(self.c_nir)
+            yield self.c_net
+        yield from self.nodes[home].dirctrl.serve(self.c_nil)
+
+    def _reply_trip_back(self, node: int, home: int):
+        """Home -> requester: network, NI ingress, requester bus fill."""
+        if home != node:
+            yield self.c_net
+            yield from self.nodes[node].ni_in.serve(self.c_nir)
+        yield from self.nodes[node].bus.serve(self.c_bus)
+
+    def _gets(self, node: int, la: int, stream: str):
+        """Read miss transaction.  Returns the latency class name."""
+        nm = self.nodes[node]
+        evt = self.engine.event(name=f"gets:{la:#x}")
+        mshr = _Mshr(evt, stream, "read", is_prefetch=False)
+        nm.mshrs[la] = mshr
+        try:
+            level = yield from self._gets_body(node, la, stream, nm, mshr)
+            return level
+        finally:
+            # Runs on success AND on interruption (slipstream recovery can
+            # abort an A-stream mid-miss): release waiters either way.
+            if nm.mshrs.get(la) is mshr:
+                del nm.mshrs[la]
+            if not evt.fired:
+                evt.fire()
+
+    def _gets_body(self, node: int, la: int, stream: str, nm, mshr):
+        home = self.placement.home(la, toucher=node)
+        level = "local" if home == node else "remote"
+        yield from self._request_trip_out(node, home)
+        lock = self.directory.lock(la)
+        yield from lock.acquire()
+        try:
+            entry = self.directory.entry(la)
+            if entry.state == DirState.EXCLUSIVE and entry.owner != node:
+                level = "remote3"
+                owner = entry.owner
+                # Intervention: home forwards to the owner...
+                if owner != home:
+                    yield self.c_net
+                    yield from self.nodes[owner].ni_in.serve(self.c_nir)
+                yield from self.nodes[owner].bus.serve(self.c_bus)
+                oline = self.nodes[owner].l2.peek(la)
+                if oline is not None:
+                    oline.state = MESIState.SHARED
+                    oline.dirty = False
+                # ...owner replies with data straight to the requester and
+                # writes back to home memory in the background.
+                if owner != node:
+                    yield from self.nodes[owner].ni_out.serve(self.c_nir)
+                    yield self.c_net
+                self.engine.process(
+                    self.nodes[home].mem.serve(self.c_mem), name="3hop-wb")
+                self.directory.demote_to_shared(la, extra_sharer=node)
+                if node != home:
+                    yield from self.nodes[node].ni_in.serve(self.c_nir)
+                yield from self.nodes[node].bus.serve(self.c_bus)
+            else:
+                yield from self.nodes[home].mem.serve(self.c_mem)
+                self.directory.add_sharer(la, node)
+                yield from self._reply_trip_back(node, home)
+        finally:
+            lock.release()
+        line = nm.l2.insert(la, MESIState.SHARED)
+        self._set_record(line, stream, "read", merged_late=mshr.late)
+        return level
+
+    def _getx(self, node: int, la: int, stream: str, upgrade: bool):
+        """Write-ownership transaction (GETX, or upgrade when the line is
+        already resident SHARED)."""
+        nm = self.nodes[node]
+        evt = self.engine.event(name=f"getx:{la:#x}")
+        mshr = _Mshr(evt, stream, "rdex", is_prefetch=False)
+        nm.mshrs[la] = mshr
+        try:
+            level = yield from self._getx_body(node, la, stream, upgrade,
+                                               nm, mshr)
+            return level
+        finally:
+            if nm.mshrs.get(la) is mshr:
+                del nm.mshrs[la]
+            if not evt.fired:
+                evt.fire()
+
+    def _getx_body(self, node: int, la: int, stream: str, upgrade: bool,
+                   nm, mshr):
+        home = self.placement.home(la, toucher=node)
+        level = "local" if home == node else "remote"
+        yield from self._request_trip_out(node, home)
+        lock = self.directory.lock(la)
+        yield from lock.acquire()
+        try:
+            entry = self.directory.entry(la)
+            if entry.state == DirState.EXCLUSIVE and entry.owner != node:
+                level = "remote3"
+                owner = entry.owner
+                if owner != home:
+                    yield self.c_net
+                    yield from self.nodes[owner].ni_in.serve(self.c_nir)
+                yield from self.nodes[owner].bus.serve(self.c_bus)
+                self._invalidate_node_line(owner, la)
+                if owner != node:
+                    yield from self.nodes[owner].ni_out.serve(self.c_nir)
+                    yield self.c_net
+                if node != home:
+                    yield from self.nodes[node].ni_in.serve(self.c_nir)
+                yield from self.nodes[node].bus.serve(self.c_bus)
+            else:
+                # Invalidate all other sharers (concurrently) while memory
+                # is accessed (skipped on an upgrade: permission only).
+                sharers = self.directory.sharers_excluding(la, node)
+                acks = [self._spawn_inv(home, s, la) for s in sharers]
+                if sharers:
+                    nm.stats.add("inv_rounds")
+                    nm.stats.add("invs_sent", len(sharers))
+                if not upgrade:
+                    yield from self.nodes[home].mem.serve(self.c_mem)
+                if acks:
+                    yield self.engine.all_of(acks)
+                yield from self._reply_trip_back(node, home)
+            self.directory.set_exclusive(la, node)
+        finally:
+            lock.release()
+        line = nm.l2.insert(la, MESIState.EXCLUSIVE)
+        line.state = MESIState.EXCLUSIVE
+        line.dirty = True
+        self._set_record(line, stream, "rdex", merged_late=mshr.late)
+        return level
+
+    def _spawn_inv(self, home: int, sharer: int, la: int):
+        ack = self.engine.event(name=f"invack:{la:#x}")
+
+        def body():
+            if sharer != home:
+                yield self.c_net
+                yield from self.nodes[sharer].ni_in.serve(self.c_nir)
+            self._invalidate_node_line(sharer, la)
+            if sharer != home:
+                yield from self.nodes[sharer].ni_out.serve(self.c_nir)
+                yield self.c_net
+            ack.fire()
+
+        self.engine.process(body(), name=f"inv:n{sharer}")
+        return ack
+
+    def _invalidate_node_line(self, node: int, la: int) -> None:
+        nm = self.nodes[node]
+        line = nm.l2.invalidate(la)
+        if line is not None:
+            self._finalize_line(line)
+        for l1 in nm.l1s:
+            l1.invalidate(la)
+
+    # ---------------------------------------------- slipstream-side hooks
+
+    def bump_epoch(self, node: int) -> None:
+        """Advance the node's reference epoch (called at barriers)."""
+        self.nodes[node].epoch += 1
+
+    def self_invalidate_stale(self, node: int) -> int:
+        """Self-invalidate SHARED lines not referenced in the current
+        epoch (the A-stream's view of the future says they will migrate).
+        Returns the number of lines dropped."""
+        nm = self.nodes[node]
+        dropped = 0
+        for ln in list(nm.l2.lines()):
+            if (ln.state != MESIState.SHARED or ln.dirty
+                    or ln.epoch >= nm.epoch):
+                continue
+            # Leave lines alone while a coherence transaction holds them
+            # (their directory state is mid-flight).
+            lock = self.directory._locks.get(ln.line_addr)
+            if lock is not None and lock.count == 0:
+                continue
+            if ln.line_addr in nm.mshrs:
+                continue
+            self._invalidate_node_line(node, ln.line_addr)
+            self.directory.drop_node(ln.line_addr, node)
+            dropped += 1
+        self.selfinv_drops += dropped
+        return dropped
+
+    # ------------------------------------------------------------ teardown
+
+    def finalize(self) -> None:
+        """Classify every still-resident fill at end of simulation."""
+        for nm in self.nodes:
+            for line in nm.l2.lines():
+                self._finalize_line(line)
+
+    def machine_stats(self) -> Counter:
+        """Aggregate per-node counters machine-wide."""
+        agg = Counter()
+        for nm in self.nodes:
+            agg.merge(nm.stats)
+        return agg
+
+
+class PerfectMemory:
+    """Zero-latency memory model for functional (correctness) runs.
+
+    Implements the same surface the processor uses so compiled programs
+    run unchanged; every access costs one cycle and always 'hits'."""
+
+    def __init__(self, engine: Engine, cfg: MachineConfig):
+        self.engine = engine
+        self.cfg = cfg
+        self.allocator = SharedAllocator()
+        self.classes = ClassStats()
+        self.accesses = 0
+
+    def l1_probe(self, node: int, cpu: int, addr: int) -> bool:
+        """Always hits (flat memory)."""
+        self.accesses += 1
+        return True
+
+    def load(self, node: int, cpu: int, addr: int, stream: str = "R"):
+        """One-cycle load."""
+        self.accesses += 1
+        yield 1.0
+        return AccessResult("l1", 1.0)
+
+    def store(self, node: int, cpu: int, addr: int, stream: str = "R"):
+        """One-cycle store."""
+        self.accesses += 1
+        yield 1.0
+        return AccessResult("l1", 1.0)
+
+    def prefetch_exclusive(self, node: int, addr: int, stream: str = "A") -> bool:
+        """No-op (nothing to prefetch into)."""
+        return False
+
+    def bump_epoch(self, node: int) -> None:
+        """No-op."""
+        pass
+
+    def self_invalidate_stale(self, node: int) -> int:
+        """No-op; returns 0."""
+        return 0
+
+    def finalize(self) -> None:
+        """No-op."""
+        pass
+
+    def machine_stats(self) -> Counter:
+        """Access count only."""
+        c = Counter()
+        c.add("accesses", self.accesses)
+        return c

@@ -1,0 +1,15 @@
+"""Mini-NAS Parallel Benchmarks in SlipC.
+
+BT, CG, LU, MG, SP form the paper's evaluation suite (§5); EP is an
+extra used to test §3.2.2's claim about embarrassingly parallel codes
+under dynamic scheduling.
+"""
+
+from . import bt, cg, ep, lu, mg, sp      # noqa: F401  (registration)
+from .common import REGISTRY, KernelSpec
+
+#: The paper's Table-2 suite (EP excluded).
+PAPER_SUITE = ("bt", "cg", "lu", "mg", "sp")
+
+__all__ = ["REGISTRY", "KernelSpec", "PAPER_SUITE",
+           "bt", "cg", "ep", "lu", "mg", "sp"]

@@ -1,0 +1,176 @@
+"""Mini-BT: block-tridiagonal ADI sweeps over a 3D grid.
+
+Identical phase structure (and identical working-set migration between
+the plane-parallel x/y solves and the row-parallel z solve) as mini-SP
+-- see sp.py -- but every grid point carries a 3-component state vector
+coupled through a dense 3x3 block at each recurrence step, matching NAS
+BT's much higher flops-per-point ratio.  The compute/communication
+balance is the axis along which the paper's Figure 2 separates BT from
+SP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .common import KernelSpec, register
+
+# 3x3 contraction block (row sums < 1 for stability) plus coupling.
+B = [[0.40, 0.15, 0.05],
+     [0.10, 0.45, 0.10],
+     [0.05, 0.15, 0.40]]
+CF = 0.30
+CB = 0.25
+
+
+def _block(idx_c: str, idx_n: str, coupling: float, indent: str) -> str:
+    """3-component block update at idx_c coupled to neighbour idx_n."""
+    lines = [f"{indent}t{m} = u{m+1}[{idx_c}];" for m in range(3)]
+    for k in range(3):
+        terms = " + ".join(f"{B[k][m]} * t{m}" for m in range(3))
+        lines.append(f"{indent}u{k+1}[{idx_c}] = {terms} "
+                     f"+ {coupling} * u{k+1}[{idx_n}];")
+    return "\n".join(lines)
+
+
+def source(p: int = 16, g: int = 16, iters: int = 2) -> str:
+    """Generate mini-BT SlipC source for the given grid."""
+    ind = " " * 20
+    xf = _block("k][i][j", "k][i][j-1", CF, ind)
+    xb = _block("k][i][j", "k][i][j+1", CB, ind)
+    yf = _block("k][i][j", "k][i-1][j", CF, ind)
+    yb = _block("k][i][j", "k][i+1][j", CB, ind)
+    zf = _block("k][i][j", "k-1][i][j", CF, ind)
+    zb = _block("k][i][j", "k+1][i][j", CB, ind)
+    return f"""
+/* mini-BT: 3D block-tridiagonal ADI sweeps (NPB BT pattern) */
+double u1[{p}][{g}][{g}];
+double u2[{p}][{g}][{g}];
+double u3[{p}][{g}][{g}];
+double unorm;
+int k, i, j;
+
+void main() {{
+    unorm = 0.0;
+    #pragma omp parallel private(k, i, j)
+    {{
+    int it;
+    #pragma omp for schedule(runtime)
+    for (k = 0; k < {p}; k = k + 1) {{
+        for (i = 0; i < {g}; i = i + 1) {{
+            for (j = 0; j < {g}; j = j + 1) {{
+                u1[k][i][j] = (mod(k * 7 + i * 5 + j * 3, 13) - 6) * 0.1;
+                u2[k][i][j] = (mod(k * 2 + i * 3 + j * 7, 11) - 5) * 0.1;
+                u3[k][i][j] = (mod(k * 5 + i * 11 + j * 2, 9) - 4) * 0.1;
+            }}
+        }}
+    }}
+    for (it = 0; it < {iters}; it = it + 1) {{
+        /* x-sweep: block recurrence along j, plane-parallel (local) */
+        #pragma omp for schedule(runtime)
+        for (k = 0; k < {p}; k = k + 1) {{
+            double t0;  double t1;  double t2;
+            for (i = 0; i < {g}; i = i + 1) {{
+                for (j = 1; j < {g}; j = j + 1) {{
+{xf}
+                }}
+                for (j = {g} - 2; j >= 0; j = j - 1) {{
+{xb}
+                }}
+            }}
+        }}
+        /* y-sweep: block recurrence along i, plane-parallel (local) */
+        #pragma omp for schedule(runtime)
+        for (k = 0; k < {p}; k = k + 1) {{
+            double t0;  double t1;  double t2;
+            for (i = 1; i < {g}; i = i + 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+{yf}
+                }}
+            }}
+            for (i = {g} - 2; i >= 0; i = i - 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+{yb}
+                }}
+            }}
+        }}
+        /* z-sweep: block recurrence along k, row-parallel (migrates) */
+        #pragma omp for schedule(runtime)
+        for (i = 0; i < {g}; i = i + 1) {{
+            double t0;  double t1;  double t2;
+            for (k = 1; k < {p}; k = k + 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+{zf}
+                }}
+            }}
+            for (k = {p} - 2; k >= 0; k = k - 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+{zb}
+                }}
+            }}
+        }}
+    }}
+    #pragma omp for schedule(runtime) reduction(+: unorm)
+    for (k = 0; k < {p}; k = k + 1) {{
+        for (i = 0; i < {g}; i = i + 1) {{
+            for (j = 0; j < {g}; j = j + 1) {{
+                unorm = unorm + fabs(u1[k][i][j]) + fabs(u2[k][i][j])
+                    + fabs(u3[k][i][j]);
+            }}
+        }}
+    }}
+    }}
+    print("bt unorm", unorm);
+}}
+"""
+
+
+def reference(p: int = 16, g: int = 16, iters: int = 2
+              ) -> Dict[str, np.ndarray]:
+    """NumPy oracle for mini-BT."""
+    k = np.arange(p)[:, None, None]
+    i = np.arange(g)[None, :, None]
+    j = np.arange(g)[None, None, :]
+    u = np.stack([
+        ((((k * 7 + i * 5 + j * 3) % 13) - 6) * 0.1) + np.zeros((p, g, g)),
+        ((((k * 2 + i * 3 + j * 7) % 11) - 5) * 0.1) + np.zeros((p, g, g)),
+        ((((k * 5 + i * 11 + j * 2) % 9) - 4) * 0.1) + np.zeros((p, g, g)),
+    ])                                    # (3, p, g, g)
+    Bm = np.array(B)
+    for _ in range(iters):
+        for jj in range(1, g):
+            u[:, :, :, jj] = np.einsum("cm,mpq->cpq", Bm, u[:, :, :, jj]) \
+                + CF * u[:, :, :, jj - 1]
+        for jj in range(g - 2, -1, -1):
+            u[:, :, :, jj] = np.einsum("cm,mpq->cpq", Bm, u[:, :, :, jj]) \
+                + CB * u[:, :, :, jj + 1]
+        for ii in range(1, g):
+            u[:, :, ii, :] = np.einsum("cm,mpq->cpq", Bm, u[:, :, ii, :]) \
+                + CF * u[:, :, ii - 1, :]
+        for ii in range(g - 2, -1, -1):
+            u[:, :, ii, :] = np.einsum("cm,mpq->cpq", Bm, u[:, :, ii, :]) \
+                + CB * u[:, :, ii + 1, :]
+        for kk in range(1, p):
+            u[:, kk, :, :] = np.einsum("cm,mpq->cpq", Bm, u[:, kk, :, :]) \
+                + CF * u[:, kk - 1, :, :]
+        for kk in range(p - 2, -1, -1):
+            u[:, kk, :, :] = np.einsum("cm,mpq->cpq", Bm, u[:, kk, :, :]) \
+                + CB * u[:, kk + 1, :, :]
+    return {"u1": u[0], "u2": u[1], "u3": u[2],
+            "unorm": np.array([np.abs(u).sum()])}
+
+
+SPEC = register(KernelSpec(
+    name="bt",
+    description="3D block-tridiagonal ADI sweeps: SP's migration "
+                "pattern with 3x3 block arithmetic (NPB BT pattern)",
+    source=source,
+    reference=reference,
+    sizes={
+        "test": dict(p=6, g=10, iters=1),
+        "bench": dict(p=16, g=16, iters=2),
+    },
+    rtol=1e-8,
+))

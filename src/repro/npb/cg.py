@@ -1,0 +1,147 @@
+"""Mini-CG: conjugate-gradient-style sparse kernel.
+
+Communication pattern preserved from NAS CG: a row-partitioned sparse
+matrix-vector product whose column indices scatter across the whole
+vector (so every node reads vector segments produced by every other
+node each iteration), two dot-product reductions per iteration (global
+critical-section combines + barriers), and a vector update that
+re-invalidates the cached copies -- the producer/consumer migration CG
+is known for.  The matrix structure comes from an elementwise hash so
+it can be built with parallel first-touch initialization, exactly like
+NPB's intent of distributing the data.
+
+The iteration is a normalized power-method variant of the CG inner
+loop: q = A p; alpha = p.q; beta = q.q; p = q / sqrt(beta).  It has CG's
+memory behaviour with unconditionally stable arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .common import KernelSpec, register
+
+_HASH_A = 1103515245
+_HASH_B = 2654435761
+_HASH_M = 2 ** 31
+
+
+def _columns(n: int, nnz: int) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)[:, None]
+    k = np.arange(nnz, dtype=np.int64)[None, :]
+    return ((i * _HASH_A + (k + 1) * _HASH_B) % _HASH_M) % n
+
+
+def _values(n: int, nnz: int, cols: np.ndarray) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)[:, None]
+    return 0.25 + 0.1 * ((cols + i) % 7)
+
+
+def source(n: int = 512, nnz: int = 8, iters: int = 3) -> str:
+    # NPB-style structure: ONE parallel region encloses the whole
+    # iteration loop; the worksharing loops inside it are separated only
+    # by barriers -- the "sessions" the slipstream token protocol counts,
+    # which is what lets a LOCAL_SYNC A-stream run a session ahead.
+    """Generate mini-CG SlipC source for the given size."""
+    return f"""
+/* mini-CG: sparse matvec + reductions (NPB CG communication pattern) */
+double aval[{n}][{nnz}];
+int acol[{n}][{nnz}];
+double p[{n}];
+double q[{n}];
+double alpha;
+double beta;
+double zeta;
+int i, k;
+
+void main() {{
+    zeta = 0.0;
+    #pragma omp parallel private(k)
+    {{
+        int it;
+        double norm;
+        /* parallel build: first-touch distributes matrix and vectors */
+        #pragma omp for schedule(runtime)
+        for (i = 0; i < {n}; i = i + 1) {{
+            for (k = 0; k < {nnz}; k = k + 1) {{
+                acol[i][k] = ((i * {_HASH_A} + (k + 1) * {_HASH_B})
+                              % {_HASH_M}) % {n};
+                aval[i][k] = 0.25 + 0.1 * ((acol[i][k] + i) % 7);
+            }}
+            p[i] = 1.0 / ({n} * 1.0);
+            q[i] = 0.0;
+        }}
+        for (it = 0; it < {iters}; it = it + 1) {{
+            #pragma omp single
+            {{
+                alpha = 0.0;
+                beta = 0.0;
+            }}
+            /* q = A p : every row gathers from scattered columns */
+            #pragma omp for schedule(runtime)
+            for (i = 0; i < {n}; i = i + 1) {{
+                double s;
+                s = 0.0;
+                for (k = 0; k < {nnz}; k = k + 1) {{
+                    s = s + aval[i][k] * p[acol[i][k]];
+                }}
+                q[i] = s;
+            }}
+            /* alpha = p.q ; beta = q.q : global reductions */
+            #pragma omp for schedule(runtime) reduction(+: alpha)
+            for (i = 0; i < {n}; i = i + 1) {{
+                alpha = alpha + p[i] * q[i];
+            }}
+            #pragma omp for schedule(runtime) reduction(+: beta)
+            for (i = 0; i < {n}; i = i + 1) {{
+                beta = beta + q[i] * q[i];
+            }}
+            norm = 1.0 / sqrt(beta);
+            /* p = q / ||q|| : producer update invalidating consumers */
+            #pragma omp for schedule(runtime)
+            for (i = 0; i < {n}; i = i + 1) {{
+                p[i] = q[i] * norm;
+            }}
+            #pragma omp master
+            {{
+                zeta = zeta + alpha;
+            }}
+            /* keep the next iteration's single from zeroing alpha
+               before the master has consumed it */
+            #pragma omp barrier
+        }}
+    }}
+    print("cg zeta", zeta);
+}}
+"""
+
+
+def reference(n: int = 512, nnz: int = 8, iters: int = 3
+              ) -> Dict[str, np.ndarray]:
+    """NumPy oracle for mini-CG."""
+    cols = _columns(n, nnz)
+    vals = _values(n, nnz, cols)
+    p = np.full(n, 1.0 / n)
+    zeta = 0.0
+    for _ in range(iters):
+        q = (vals * p[cols]).sum(axis=1)
+        alpha = float(p @ q)
+        beta = float(q @ q)
+        p = q / np.sqrt(beta)
+        zeta += alpha
+    return {"p": p, "zeta": np.array([zeta])}
+
+
+SPEC = register(KernelSpec(
+    name="cg",
+    description="sparse matvec + global reductions (NPB CG pattern)",
+    source=source,
+    reference=reference,
+    sizes={
+        "test": dict(n=96, nnz=4, iters=2),
+        "bench": dict(n=1024, nnz=8, iters=3),
+    },
+    rtol=1e-7,
+))

@@ -1,0 +1,154 @@
+"""Mini-LU: pipelined SSOR wavefront sweeps.
+
+Communication pattern preserved from NAS LU (OpenMP version): the
+lower- and upper-triangular sweeps carry a true data dependence from
+row block to row block, so the OpenMP code runs a software pipeline --
+each thread processes its row block one column-block at a time, spinning
+on a shared flag array until its predecessor has finished the matching
+column block (NPB-LU's ``flag``/``#pragma omp flush`` idiom).  Threads
+therefore spend real time in pipeline fill/drain, and the A-stream's
+prefetching is bounded by the true dependences, which is why the paper
+sees LU's smallest slipstream gain (5%).
+
+The paper also notes LU "programmatically specifies" static scheduling
+for a significant portion of the code -- reproduced here by explicit
+thread-id block partitioning (no omp for), so LU is excluded from the
+dynamic-scheduling experiment just as in §5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .common import KernelSpec, register
+
+WD = 0.5       # diagonal weight
+WN = 0.22      # neighbour coupling
+
+MAX_THREADS = 64
+
+
+def source(g: int = 40, cblocks: int = 4, iters: int = 2) -> str:
+    """Generate mini-LU SlipC source (pipelined SSOR)."""
+    return f"""
+/* mini-LU: pipelined SSOR wavefront (NPB LU pattern) */
+double u[{g}][{g}];
+int flag[{MAX_THREADS}];
+int flag2[{MAX_THREADS}];
+double unorm;
+int i, j;
+
+void main() {{
+    int it;
+    #pragma omp parallel for schedule(runtime) private(j)
+    for (i = 0; i < {g}; i = i + 1) {{
+        for (j = 0; j < {g}; j = j + 1) {{
+            u[i][j] = (mod(i * 5 + j * 3, 13) - 6) * 0.1;
+        }}
+        if (i < {MAX_THREADS}) {{
+            flag[i] = 0;
+            flag2[i] = 0;
+        }}
+    }}
+    for (it = 0; it < {iters}; it = it + 1) {{
+        #pragma omp parallel private(i, j)
+        {{
+            int t;  int nt;  int lo;  int hi;  int c;  int jlo;  int jhi;
+            int target;
+            t = omp_get_thread_num();
+            nt = omp_get_num_threads();
+            lo = 1 + ({g} - 2) * t / nt;
+            hi = 1 + ({g} - 2) * (t + 1) / nt;
+            /* lower sweep: depends on north (i-1) and west (j-1) */
+            for (c = 0; c < {cblocks}; c = c + 1) {{
+                jlo = 1 + ({g} - 2) * c / {cblocks};
+                jhi = 1 + ({g} - 2) * (c + 1) / {cblocks};
+                if (t > 0) {{
+                    target = it * {cblocks} + c + 1;
+                    while (flag[t - 1] < target) {{
+                        #pragma omp flush
+                    }}
+                }}
+                for (i = lo; i < hi; i = i + 1) {{
+                    for (j = jlo; j < jhi; j = j + 1) {{
+                        u[i][j] = {WD} * u[i][j]
+                            + {WN} * (u[i-1][j] + u[i][j-1]) + 0.01;
+                    }}
+                }}
+                flag[t] = it * {cblocks} + c + 1;
+                #pragma omp flush
+            }}
+            #pragma omp barrier
+            /* upper sweep: depends on south (i+1) and east (j+1),
+               pipeline runs in the reverse direction */
+            for (c = 0; c < {cblocks}; c = c + 1) {{
+                jhi = {g} - 1 - ({g} - 2) * c / {cblocks};
+                jlo = {g} - 1 - ({g} - 2) * (c + 1) / {cblocks};
+                if (t < nt - 1) {{
+                    target = it * {cblocks} + c + 1;
+                    while (flag2[t + 1] < target) {{
+                        #pragma omp flush
+                    }}
+                }}
+                for (i = hi - 1; i >= lo; i = i - 1) {{
+                    for (j = jhi - 1; j >= jlo; j = j - 1) {{
+                        u[i][j] = {WD} * u[i][j]
+                            + {WN} * (u[i+1][j] + u[i][j+1]) + 0.01;
+                    }}
+                }}
+                flag2[t] = it * {cblocks} + c + 1;
+                #pragma omp flush
+            }}
+            #pragma omp barrier
+            #pragma omp master
+            {{
+                i = 0;  /* keep master's A-stream aligned (no-op work) */
+            }}
+        }}
+    }}
+    unorm = 0.0;
+    #pragma omp parallel for schedule(runtime) reduction(+: unorm) private(j)
+    for (i = 0; i < {g}; i = i + 1) {{
+        for (j = 0; j < {g}; j = j + 1) {{
+            unorm = unorm + fabs(u[i][j]);
+        }}
+    }}
+    print("lu unorm", unorm);
+}}
+"""
+
+
+def reference(g: int = 40, cblocks: int = 4, iters: int = 2
+              ) -> Dict[str, np.ndarray]:
+    """NumPy oracle for mini-LU (sequential SSOR order)."""
+    i = np.arange(g)[:, None]
+    j = np.arange(g)[None, :]
+    u = ((((i * 5 + j * 3) % 13) - 6) * 0.1).astype(float)
+    for _ in range(iters):
+        # lower sweep: in-place Gauss-Seidel order (row-major ascending)
+        for ii in range(1, g - 1):
+            for jj in range(1, g - 1):
+                u[ii, jj] = (WD * u[ii, jj]
+                             + WN * (u[ii - 1, jj] + u[ii, jj - 1]) + 0.01)
+        # upper sweep: descending order
+        for ii in range(g - 2, 0, -1):
+            for jj in range(g - 2, 0, -1):
+                u[ii, jj] = (WD * u[ii, jj]
+                             + WN * (u[ii + 1, jj] + u[ii, jj + 1]) + 0.01)
+    return {"u": u, "unorm": np.array([np.abs(u).sum()])}
+
+
+SPEC = register(KernelSpec(
+    name="lu",
+    description="pipelined SSOR wavefront with flag synchronization "
+                "(NPB LU pattern; static scheduling hard-coded)",
+    source=source,
+    reference=reference,
+    sizes={
+        "test": dict(g=18, cblocks=3, iters=1),
+        "bench": dict(g=48, cblocks=4, iters=2),
+    },
+    rtol=1e-8,
+))

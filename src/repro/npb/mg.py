@@ -1,0 +1,202 @@
+"""Mini-MG: 2D multigrid V-cycle.
+
+Communication pattern preserved from NAS MG: a hierarchy of grids where
+every level's stencil operators exchange halo rows between neighbouring
+row-blocks, and the coarse levels have so little work per thread that
+barrier and migration costs dominate -- the regime where the paper
+reports MG's largest slipstream gain (20%).  Each V-cycle performs
+residual, restriction down the hierarchy, coarse smoothing, and
+prolongation + smoothing back up, with a barrier after every operator.
+
+The SlipC source is generated per level (the language has no pointers,
+mirroring how NPB-MG's Fortran uses static per-level offsets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .common import KernelSpec, register
+
+
+def _sizes(g: int, levels: int) -> List[int]:
+    out = [g >> l for l in range(levels)]
+    if out[-1] < 4:
+        raise ValueError("coarsest grid must be at least 4x4")
+    return out
+
+
+def _rhs(g: int) -> np.ndarray:
+    i = np.arange(g)[:, None]
+    j = np.arange(g)[None, :]
+    v = ((i * 7 + j * 13) % 11 - 5) * 0.125
+    v[0, :] = v[-1, :] = 0.0
+    v[:, 0] = v[:, -1] = 0.0
+    return v.astype(float)
+
+
+def source(g: int = 32, levels: int = 3, cycles: int = 2) -> str:
+    """Generate mini-MG SlipC source for the level hierarchy."""
+    gs = _sizes(g, levels)
+    decls = ["double v[%d][%d];" % (g, g)]
+    for l, n in enumerate(gs):
+        decls.append(f"double u{l}[{n}][{n}];")
+        decls.append(f"double r{l}[{n}][{n}];")
+    body = []
+
+    # NPB-style: one parallel region encloses the whole V-cycle loop;
+    # every operator is an "omp for" whose closing barrier delimits a
+    # slipstream session.
+    def par_for(n: int, inner: str) -> str:
+        return (f"    #pragma omp for schedule(runtime)\n"
+                f"    for (i = 1; i < {n - 1}; i = i + 1) {{\n"
+                f"        for (j = 1; j < {n - 1}; j = j + 1) {{\n"
+                f"{inner}\n"
+                f"        }}\n    }}")
+
+    # init: parallel first touch of every level
+    body.append(f"""    #pragma omp for schedule(runtime)
+    for (i = 0; i < {g}; i = i + 1) {{
+        for (j = 0; j < {g}; j = j + 1) {{
+            v[i][j] = (mod(i * 7 + j * 13, 11) - 5) * 0.125;
+            if (i == 0) v[i][j] = 0.0;
+            if (j == 0) v[i][j] = 0.0;
+            if (i == {g - 1}) v[i][j] = 0.0;
+            if (j == {g - 1}) v[i][j] = 0.0;
+            u0[i][j] = 0.0;
+            r0[i][j] = 0.0;
+        }}
+    }}""")
+    for l in range(1, levels):
+        n = gs[l]
+        body.append(f"""    #pragma omp for schedule(runtime)
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            u{l}[i][j] = 0.0;
+            r{l}[i][j] = 0.0;
+        }}
+    }}""")
+
+    body.append(f"    for (it = 0; it < {cycles}; it = it + 1) {{")
+    # residual at finest: r0 = v - A u0
+    body.append(par_for(gs[0],
+        "            r0[i][j] = v[i][j] - (4.0 * u0[i][j]"
+        " - u0[i-1][j] - u0[i+1][j] - u0[i][j-1] - u0[i][j+1]);"))
+    # restrict down
+    for l in range(levels - 1):
+        nc = gs[l + 1]
+        f = l
+        body.append(par_for(nc,
+            f"            r{l+1}[i][j] = 0.25 * (r{f}[2*i][2*j]"
+            f" + r{f}[2*i+1][2*j] + r{f}[2*i][2*j+1]"
+            f" + r{f}[2*i+1][2*j+1]);"))
+    # coarsest: zero then smooth twice
+    lc = levels - 1
+    nc = gs[lc]
+    body.append(par_for(nc, f"            u{lc}[i][j] = 0.0;"))
+    for _ in range(2):
+        body.append(par_for(nc,
+            f"            u{lc}[i][j] = u{lc}[i][j] + 0.5 * r{lc}[i][j]"
+            f" + 0.125 * (r{lc}[i-1][j] + r{lc}[i+1][j]"
+            f" + r{lc}[i][j-1] + r{lc}[i][j+1]);"))
+    # up: prolong + smooth
+    for l in range(levels - 2, -1, -1):
+        nc = gs[l + 1]
+        body.append(par_for(nc,
+            f"""            u{l}[2*i][2*j] = u{l}[2*i][2*j] + u{l+1}[i][j];
+            u{l}[2*i+1][2*j] = u{l}[2*i+1][2*j] + u{l+1}[i][j];
+            u{l}[2*i][2*j+1] = u{l}[2*i][2*j+1] + u{l+1}[i][j];
+            u{l}[2*i+1][2*j+1] = u{l}[2*i+1][2*j+1] + u{l+1}[i][j];"""))
+        body.append(par_for(gs[l],
+            f"            u{l}[i][j] = u{l}[i][j] + 0.5 * r{l}[i][j]"
+            f" + 0.125 * (r{l}[i-1][j] + r{l}[i+1][j]"
+            f" + r{l}[i][j-1] + r{l}[i][j+1]);"))
+    body.append("    }")
+    # norm check (still inside the region; unorm zeroed before entry)
+    body.append(f"""    #pragma omp for schedule(runtime) reduction(+: unorm)
+    for (i = 0; i < {g}; i = i + 1) {{
+        for (j = 0; j < {g}; j = j + 1) {{
+            unorm = unorm + fabs(u0[i][j]);
+        }}
+    }}""")
+
+    inner = "\n".join(body).replace("\n", "\n    ")
+    return ("/* mini-MG: multigrid V-cycle (NPB MG pattern) */\n"
+            + "\n".join(decls)
+            + "\ndouble unorm;\nint i, j;\n"
+            + "void main() {\n"
+            + "    unorm = 0.0;\n"
+            + "    #pragma omp parallel private(j)\n"
+            + "    {\n"
+            + "        int it;\n    "
+            + inner + "\n"
+            + "    }\n"
+            + '    print("mg unorm", unorm);\n'
+            + "}\n")
+
+
+def reference(g: int = 32, levels: int = 3, cycles: int = 2
+              ) -> Dict[str, np.ndarray]:
+    """NumPy oracle for mini-MG."""
+    gs = _sizes(g, levels)
+    v = _rhs(g)
+    u = [np.zeros((n, n)) for n in gs]
+    r = [np.zeros((n, n)) for n in gs]
+
+    def interior(n):
+        return slice(1, n - 1)
+
+    def resid(rl, vl, ul, n):
+        I = interior(n)
+        rl[I, I] = vl[I, I] - (4.0 * ul[I, I]
+                               - ul[0:n - 2, I] - ul[2:n, I]
+                               - ul[I, 0:n - 2] - ul[I, 2:n])
+
+    def smooth(ul, rl, n):
+        I = interior(n)
+        ul[I, I] = (ul[I, I] + 0.5 * rl[I, I]
+                    + 0.125 * (rl[0:n - 2, I] + rl[2:n, I]
+                               + rl[I, 0:n - 2] + rl[I, 2:n]))
+
+    for _ in range(cycles):
+        resid(r[0], v, u[0], gs[0])
+        for l in range(levels - 1):
+            nc = gs[l + 1]
+            I = interior(nc)
+            ii = np.arange(1, nc - 1)
+            rf = r[l]
+            r[l + 1][1:nc - 1, 1:nc - 1] = 0.25 * (
+                rf[2 * ii[:, None], 2 * ii[None, :]]
+                + rf[2 * ii[:, None] + 1, 2 * ii[None, :]]
+                + rf[2 * ii[:, None], 2 * ii[None, :] + 1]
+                + rf[2 * ii[:, None] + 1, 2 * ii[None, :] + 1])
+        lc = levels - 1
+        nc = gs[lc]
+        u[lc][1:nc - 1, 1:nc - 1] = 0.0
+        smooth(u[lc], r[lc], nc)
+        smooth(u[lc], r[lc], nc)
+        for l in range(levels - 2, -1, -1):
+            nc = gs[l + 1]
+            ii = np.arange(1, nc - 1)
+            uc = u[l + 1][1:nc - 1, 1:nc - 1]
+            for di in (0, 1):
+                for dj in (0, 1):
+                    u[l][2 * ii[:, None] + di, 2 * ii[None, :] + dj] += uc
+            smooth(u[l], r[l], gs[l])
+    return {"u0": u[0], "unorm": np.array([np.abs(u[0]).sum()])}
+
+
+SPEC = register(KernelSpec(
+    name="mg",
+    description="multigrid V-cycle, halo exchange at every level "
+                "(NPB MG pattern)",
+    source=source,
+    reference=reference,
+    sizes={
+        "test": dict(g=16, levels=2, cycles=1),
+        "bench": dict(g=48, levels=4, cycles=3),
+    },
+    rtol=1e-7,
+))

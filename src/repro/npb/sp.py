@@ -1,0 +1,149 @@
+"""Mini-SP: scalar ADI sweeps over a 3D grid.
+
+Structure preserved from NAS SP (OpenMP): the x- and y-direction line
+solves are parallelized over grid *planes* (each thread sweeps inside
+its own planes: unit-stride, CMP-local), while the z-direction solve
+carries its recurrence *across* planes and is parallelized over rows --
+so every z-sweep pulls the whole working set out of the plane-owners'
+caches and into the row-owners' caches, and the next iteration's x-sweep
+pulls it back.  This phase-to-phase working-set migration is SP's
+signature behaviour on a DSM machine and the traffic slipstream
+prefetching attacks.  Cache lines always travel whole (the innermost j
+index is contiguous), as in the real 3D benchmark.
+
+The plane count is fixed at the paper's machine width (16 CMPs), the
+classic fixed-problem-size setup in which doubling the task count adds
+no plane-level parallelism -- the regime §1 motivates ("adding more
+computational resources does not always reduce execution time").
+
+Each line solve is a forward/backward first-order recurrence (the
+memory access pattern of the Thomas algorithm without its extra
+temporaries); BT is the same structure with 3-component block math.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .common import KernelSpec, register
+
+CF = 0.35      # forward coupling
+CB = 0.30      # backward coupling
+W = 0.55       # diagonal weight
+
+
+def source(p: int = 16, g: int = 24, iters: int = 2) -> str:
+    """Generate mini-SP SlipC source for the given grid."""
+    return f"""
+/* mini-SP: 3D scalar ADI sweeps (NPB SP communication pattern) */
+double u[{p}][{g}][{g}];
+double unorm;
+int k, i, j;
+
+void main() {{
+    unorm = 0.0;
+    #pragma omp parallel private(k, i, j)
+    {{
+    int it;
+    #pragma omp for schedule(runtime)
+    for (k = 0; k < {p}; k = k + 1) {{
+        for (i = 0; i < {g}; i = i + 1) {{
+            for (j = 0; j < {g}; j = j + 1) {{
+                u[k][i][j] = (mod(k * 7 + i * 5 + j * 3, 13) - 6) * 0.1;
+            }}
+        }}
+    }}
+    for (it = 0; it < {iters}; it = it + 1) {{
+        /* x-sweep: recurrence along j, parallel over planes (local) */
+        #pragma omp for schedule(runtime)
+        for (k = 0; k < {p}; k = k + 1) {{
+            for (i = 0; i < {g}; i = i + 1) {{
+                for (j = 1; j < {g}; j = j + 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CF} * u[k][i][j-1];
+                }}
+                for (j = {g} - 2; j >= 0; j = j - 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CB} * u[k][i][j+1];
+                }}
+            }}
+        }}
+        /* y-sweep: recurrence along i, still plane-local */
+        #pragma omp for schedule(runtime)
+        for (k = 0; k < {p}; k = k + 1) {{
+            for (i = 1; i < {g}; i = i + 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CF} * u[k][i-1][j];
+                }}
+            }}
+            for (i = {g} - 2; i >= 0; i = i - 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CB} * u[k][i+1][j];
+                }}
+            }}
+        }}
+        /* z-sweep: recurrence along k, parallel over rows --
+           the whole working set migrates plane-owners -> row-owners */
+        #pragma omp for schedule(runtime)
+        for (i = 0; i < {g}; i = i + 1) {{
+            for (k = 1; k < {p}; k = k + 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CF} * u[k-1][i][j];
+                }}
+            }}
+            for (k = {p} - 2; k >= 0; k = k - 1) {{
+                for (j = 0; j < {g}; j = j + 1) {{
+                    u[k][i][j] = {W} * u[k][i][j] + {CB} * u[k+1][i][j];
+                }}
+            }}
+        }}
+    }}
+    #pragma omp for schedule(runtime) reduction(+: unorm)
+    for (k = 0; k < {p}; k = k + 1) {{
+        for (i = 0; i < {g}; i = i + 1) {{
+            for (j = 0; j < {g}; j = j + 1) {{
+                unorm = unorm + fabs(u[k][i][j]);
+            }}
+        }}
+    }}
+    }}
+    print("sp unorm", unorm);
+}}
+"""
+
+
+def reference(p: int = 16, g: int = 24, iters: int = 2
+              ) -> Dict[str, np.ndarray]:
+    """NumPy oracle for mini-SP."""
+    k = np.arange(p)[:, None, None]
+    i = np.arange(g)[None, :, None]
+    j = np.arange(g)[None, None, :]
+    u = ((((k * 7 + i * 5 + j * 3) % 13) - 6) * 0.1).astype(float)
+    for _ in range(iters):
+        for jj in range(1, g):
+            u[:, :, jj] = W * u[:, :, jj] + CF * u[:, :, jj - 1]
+        for jj in range(g - 2, -1, -1):
+            u[:, :, jj] = W * u[:, :, jj] + CB * u[:, :, jj + 1]
+        for ii in range(1, g):
+            u[:, ii, :] = W * u[:, ii, :] + CF * u[:, ii - 1, :]
+        for ii in range(g - 2, -1, -1):
+            u[:, ii, :] = W * u[:, ii, :] + CB * u[:, ii + 1, :]
+        for kk in range(1, p):
+            u[kk, :, :] = W * u[kk, :, :] + CF * u[kk - 1, :, :]
+        for kk in range(p - 2, -1, -1):
+            u[kk, :, :] = W * u[kk, :, :] + CB * u[kk + 1, :, :]
+    return {"u": u, "unorm": np.array([np.abs(u).sum()])}
+
+
+SPEC = register(KernelSpec(
+    name="sp",
+    description="3D scalar ADI sweeps, working-set migration between "
+                "plane- and row-parallel phases (NPB SP pattern)",
+    source=source,
+    reference=reference,
+    sizes={
+        "test": dict(p=8, g=12, iters=1),
+        "bench": dict(p=16, g=24, iters=2),
+    },
+    rtol=1e-8,
+))

@@ -1,0 +1,75 @@
+"""Environment-variable handling (OpenMP style runtime control).
+
+The paper adds ``OMP_SLIPSTREAM`` to the standard set: it "takes the
+same arguments (type and tokens) used in the SLIPSTREAM directive" and
+"may take an additional value of NONE, which disables running in
+slipstream mode".  Combined with ``schedule(runtime)`` /
+``OMP_SCHEDULE``, this is what lets a single compiled image be steered
+between modes without recompilation (§5.1: "We changed the
+synchronization method as well as activating/deactivating slipstream at
+runtime while using the same binary").
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+__all__ = ["RuntimeEnv", "SYNC_TYPES"]
+
+SYNC_TYPES = ("GLOBAL_SYNC", "LOCAL_SYNC", "NONE")
+
+
+@dataclass
+class RuntimeEnv:
+    """Resolved runtime environment for one program run."""
+
+    num_threads: Optional[int] = None
+    schedule: Tuple[str, Optional[int]] = ("static", None)
+    slipstream: Tuple[str, int] = ("GLOBAL_SYNC", 0)
+    slipstream_set: bool = False       # was OMP_SLIPSTREAM given at all?
+
+    @classmethod
+    def from_mapping(cls, env: Mapping[str, str]) -> "RuntimeEnv":
+        """Parse OMP_* variables from a mapping (e.g. os.environ)."""
+        out = cls()
+        if "OMP_NUM_THREADS" in env:
+            out.num_threads = int(env["OMP_NUM_THREADS"])
+            if out.num_threads < 1:
+                raise ValueError("OMP_NUM_THREADS must be >= 1")
+        if "OMP_SCHEDULE" in env:
+            out.schedule = _parse_schedule(env["OMP_SCHEDULE"])
+        if "OMP_SLIPSTREAM" in env:
+            out.slipstream = parse_slipstream(env["OMP_SLIPSTREAM"])
+            out.slipstream_set = True
+        return out
+
+    @classmethod
+    def from_os(cls) -> "RuntimeEnv":
+        """Parse OMP_* variables from the process environment."""
+        return cls.from_mapping(os.environ)
+
+
+def _parse_schedule(text: str) -> Tuple[str, Optional[int]]:
+    parts = [p.strip() for p in text.split(",")]
+    kind = parts[0].lower()
+    if kind not in ("static", "dynamic", "guided"):
+        raise ValueError(f"bad OMP_SCHEDULE kind {kind!r}")
+    chunk = int(parts[1]) if len(parts) > 1 and parts[1] else None
+    if chunk is not None and chunk < 1:
+        raise ValueError("OMP_SCHEDULE chunk must be >= 1")
+    return kind, chunk
+
+
+def parse_slipstream(text: str) -> Tuple[str, int]:
+    """Parse an OMP_SLIPSTREAM value: 'TYPE[,tokens]' or 'NONE'."""
+    parts = [p.strip() for p in text.split(",")]
+    typ = parts[0].upper()
+    if typ not in SYNC_TYPES:
+        raise ValueError(f"bad OMP_SLIPSTREAM type {typ!r} "
+                         f"(want one of {SYNC_TYPES})")
+    tokens = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+    if tokens < 0:
+        raise ValueError("OMP_SLIPSTREAM token count must be >= 0")
+    return typ, tokens

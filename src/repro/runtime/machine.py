@@ -1,0 +1,268 @@
+"""The simulated machine: builds the hardware, places the streams,
+loads a compiled image, and runs it to completion.
+
+Three execution modes, as evaluated in the paper (§5.1):
+
+* ``single``     -- one task per CMP, the second processor idle;
+* ``double``     -- two tasks per CMP (maximum parallelism);
+* ``slipstream`` -- one task per CMP run redundantly: the R-stream on
+  processor 0, its reduced A-stream on processor 1.
+
+The same compiled image runs in every mode; slipstream behaviour is
+steered by ``OMP_SLIPSTREAM`` / the slipstream directive at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.bytecode import CompiledProgram
+from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..interp.funcrunner import GlobalStore
+from ..mem.address import SHARED_BASE, SHARED_LIMIT
+from ..mem.memsys import CoherentMemorySystem
+from ..sim import Engine, TimeBreakdown
+from ..slipstream.channel import PairChannel
+from .env import RuntimeEnv
+from .shell import ThreadShell
+from .team import Team
+from .words import RTWord
+
+__all__ = ["Machine", "RunResult", "run_program", "MODES"]
+
+MODES = ("single", "double", "slipstream")
+
+#: Runtime-internal words live in the top half of the shared segment so
+#: they can be excluded from the Figure-3/5 shared-data classification.
+RT_WORD_BASE = SHARED_BASE + (SHARED_LIMIT - SHARED_BASE) // 2
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produces."""
+
+    mode: str
+    cycles: float
+    result: object
+    output: List[Tuple]
+    store: GlobalStore
+    breakdowns: Dict[str, Dict[str, float]]
+    r_breakdown: Dict[str, float]
+    classes: object                  # ClassStats
+    mem_stats: object                # Counter
+    recoveries: List[Tuple[str, str]]
+    channel_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock nanoseconds at the paper's 1.2 GHz clock."""
+        return self.cycles / 1.2     # informational; harness uses cycles
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Machine-wide R-stream time breakdown, normalized to 1."""
+        tot = sum(self.r_breakdown.values())
+        if tot <= 0:
+            return {}
+        return {k: v / tot for k, v in self.r_breakdown.items()}
+
+
+class DeadlockError(RuntimeError):
+    pass
+
+
+class Machine:
+    """One run-instance of the simulated CMP multiprocessor."""
+
+    def __init__(self, program: CompiledProgram,
+                 cfg: MachineConfig = PAPER_MACHINE,
+                 mode: str = "single",
+                 env: Optional[RuntimeEnv] = None,
+                 selfinv: bool = False,
+                 a_exec_critical: bool = False,
+                 sections_static: bool = False,
+                 sync_after_reduction: bool = False,
+                 io_cycles: float = 200.0):
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode in ("double", "slipstream") and cfg.cpus_per_cmp < 2:
+            raise ValueError(f"mode {mode!r} needs 2 CPUs per CMP")
+        self.program = program
+        self.cfg = cfg
+        self.mode = mode
+        self.env = env or RuntimeEnv()
+        self.selfinv = selfinv
+        self.a_exec_critical = a_exec_critical
+        self.sections_static = sections_static
+        self.sync_after_reduction = sync_after_reduction
+        self.io_cycles = io_cycles
+        self.slip_resources = (mode == "slipstream")
+
+        self.engine = Engine()
+        self.memsys = CoherentMemorySystem(self.engine, cfg)
+        self.memsys.noclass_base = RT_WORD_BASE
+        self._rt_next = RT_WORD_BASE
+
+        # Program image load: allocate the shared segment.
+        self.gbase: List[int] = []
+        for g in program.globals:
+            self.gbase.append(self.memsys.allocator.alloc(
+                g.nbytes, align=cfg.line_bytes))
+        self.store = GlobalStore(program)
+        self.output: List[Tuple] = []
+        self.inputs: List[float] = []
+        self._input_pos = 0
+        self.recoveries: List[Tuple[str, str]] = []
+        self._parked: List[ThreadShell] = []
+        self._done = False
+        self._result = None
+
+        # Streams and team.
+        n_tasks = cfg.n_cmps * 2 if mode == "double" else cfg.n_cmps
+        self.team = Team(self, n_tasks)
+        self.shells: List[ThreadShell] = []
+        self.channels: Dict[int, PairChannel] = {}
+        self._build_shells()
+
+    # ------------------------------------------------------------- topology
+
+    def _build_shells(self) -> None:
+        n = self.cfg.n_cmps
+        if self.mode == "double":
+            for t in range(2 * n):
+                self.shells.append(ThreadShell(
+                    self, self.team, t, "R", node=t // 2, cpu=t % 2))
+            return
+        for t in range(n):
+            self.shells.append(ThreadShell(
+                self, self.team, t, "R", node=t, cpu=0))
+        if self.mode == "slipstream":
+            sem_lat = self.cfg.cycles(self.cfg.pi_local_dc_time_ns)
+            for t in range(n):
+                ch = PairChannel(self.engine, t, op_latency=sem_lat)
+                self.channels[t] = ch
+                a = ThreadShell(self, self.team, t, "A", node=t, cpu=1)
+                r = self.shells[t]
+                r.channel = ch
+                a.channel = ch
+                r.pair = a
+                a.pair = r
+                self.shells.append(a)
+
+    # ------------------------------------------------------------ services
+
+    def rt_word(self, name: str) -> RTWord:
+        """Allocate a runtime-internal shared word on its own line."""
+        addr = self._rt_next
+        self._rt_next += self.cfg.line_bytes
+        if self._rt_next >= SHARED_LIMIT:
+            raise MemoryError("runtime word space exhausted")
+        return RTWord(addr, 0, name)
+
+    def gaddr(self, gidx: int, flat: int) -> int:
+        """Simulated address of one element of a shared global."""
+        return self.gbase[gidx] + flat * 8
+
+    def next_input(self) -> float:
+        """Consume the next read_input() value."""
+        if self._input_pos >= len(self.inputs):
+            raise RuntimeError("read_input(): input exhausted")
+        v = self.inputs[self._input_pos]
+        self._input_pos += 1
+        return v
+
+    def master_done(self, result) -> None:
+        """Master R-stream finished: stop the run."""
+        self._done = True
+        self._result = result
+
+    def log_recovery(self, shell: ThreadShell, reason: str) -> None:
+        """Record a divergence-recovery event."""
+        self.recoveries.append((shell.name, reason))
+
+    def note_parked(self, shell: ThreadShell) -> None:
+        """Track a parked (faulted) A-stream for diagnostics."""
+        self._parked.append(shell)
+
+    def unpark(self, shell: ThreadShell) -> None:
+        """Remove a shell from the parked list after recovery."""
+        try:
+            self._parked.remove(shell)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, inputs: Optional[List[float]] = None,
+            max_cycles: float = 2e9, max_steps: int = 200_000_000
+            ) -> RunResult:
+        """Simulate until main() returns; returns the RunResult."""
+        self.inputs = list(inputs or [])
+        for shell in self.shells:
+            body = (shell.run_master() if shell.is_master
+                    else shell.run_slave())
+            shell.proc = self.engine.process(body, name=shell.name)
+        steps = 0
+        while not self._done:
+            if not self.engine.step():
+                raise DeadlockError(
+                    f"simulation deadlocked at {self.engine.now:.0f} cycles "
+                    f"(mode={self.mode}); parked={[]}".replace(
+                        "[]", str([s.name for s in self._parked])))
+            steps += 1
+            if self.engine.now > max_cycles:
+                raise RuntimeError(
+                    f"exceeded max_cycles={max_cycles:g} "
+                    f"(mode={self.mode})")
+            if steps > max_steps:
+                raise RuntimeError(f"exceeded max_steps={max_steps}")
+        end = self.engine.now
+        for shell in self.shells:
+            if shell.proc.alive:
+                shell.proc.kill()
+        self.memsys.finalize()
+        return self._collect(end)
+
+    def _collect(self, end: float) -> RunResult:
+        breakdowns = {}
+        r_parts = []
+        for shell in self.shells:
+            if not shell.bd._closed:
+                shell.bd.close(end)
+            # Cache-hit stall cycles were flushed as lumped "busy" time
+            # (synchronous fast path); reattribute them to "memory".
+            fm = min(shell.fast_mem_cycles, shell.bd.get("busy"))
+            if fm:
+                shell.bd._times["busy"] -= fm
+                shell.bd._times["memory"] = shell.bd.get("memory") + fm
+            shell.fast_mem_cycles = 0.0
+            breakdowns[shell.name] = shell.bd.as_dict()
+            if shell.role == "R":
+                r_parts.append(shell.bd)
+        chan_stats = {
+            n: {"tokens_consumed": ch.tokens_consumed,
+                "decisions_forwarded": ch.decisions_forwarded,
+                "recoveries": ch.recoveries}
+            for n, ch in self.channels.items()}
+        return RunResult(
+            mode=self.mode,
+            cycles=end,
+            result=self._result,
+            output=self.output,
+            store=self.store,
+            breakdowns=breakdowns,
+            r_breakdown=TimeBreakdown.aggregate(r_parts),
+            classes=self.memsys.classes,
+            mem_stats=self.memsys.machine_stats(),
+            recoveries=self.recoveries,
+            channel_stats=chan_stats)
+
+
+def run_program(program: CompiledProgram,
+                cfg: MachineConfig = PAPER_MACHINE,
+                mode: str = "single",
+                env: Optional[RuntimeEnv] = None,
+                inputs: Optional[List[float]] = None,
+                **kw) -> RunResult:
+    """Convenience: build a machine and run the image once."""
+    return Machine(program, cfg, mode, env, **kw).run(inputs=inputs)

@@ -1,0 +1,879 @@
+"""Thread shells: the simulated execution context of each stream.
+
+A shell owns one simulated CPU and drives a bytecode VM over it,
+servicing the VM's yield points against the machine:
+
+* shared loads/stores go through the coherence protocol (an A-stream
+  *suppresses* shared stores and converts them to prefetch-exclusives
+  when it is in the same session as its R-stream -- §2, §5.1);
+* runtime calls implement the Omni library, with the role-dependent
+  behaviour of §3.1 (A-streams skip barriers via tokens, skip single/
+  critical/flush/I-O, execute master/atomic/reductions-as-user-code);
+* dynamic scheduling decisions flow R -> A through the pair channel's
+  syscall semaphore and mailbox (§3.2.2);
+* divergence is detected by the R-stream at barriers and repaired by
+  re-forking the A-stream from the R-stream's architectural state
+  (VM snapshot/restore), the paper's recovery routine.
+
+Execution-time accounting follows the paper's Figure 2/4 categories:
+busy, memory, lock, barrier, scheduling, jobwait (plus a_wait and io).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..interp.events import Done, IoOut, MemRead, MemWrite, RtCall, TimeSlice
+from ..interp.interpreter import MISS, VM, VMError
+from ..sim import Interrupt, TimeBreakdown
+from ..slipstream.control import SlipControl
+from .team import Job, LoopLocal
+from .words import (JOBWAIT_BACKOFF_CAP, word_load, word_rmw, word_store,
+                    spin_until)
+
+__all__ = ["ThreadShell"]
+
+
+def _join_site(fidx: int) -> int:
+    """Synthetic barrier-site id for a region's end-of-region join."""
+    return -(fidx + 1)
+
+
+class ThreadShell:
+    """One stream (R or A) bound to one simulated CPU."""
+
+    def __init__(self, machine, team, tid: int, role: str, node: int,
+                 cpu: int):
+        self.machine = machine
+        self.team = team
+        self.tid = tid                  # task id (A shares its R's id)
+        self.role = role                # "R" | "A"
+        self.node = node
+        self.cpu = cpu
+        self.name = f"{role}{tid}@n{node}c{cpu}"
+        self.bd = TimeBreakdown(start=machine.engine.now)
+        self.vm: Optional[VM] = None
+        self.channel = None             # PairChannel, slipstream mode only
+        self.pair: Optional["ThreadShell"] = None
+        self.control = SlipControl(machine.env, machine.slip_resources)
+        self.barrier_sense = 0
+        self.site_seq: Dict[int, int] = {}
+        self.active_loops: Dict[int, LoopLocal] = {}
+        self.current_job: Optional[Job] = None
+        self.in_region = False
+        self.current_gen = 0
+        self.proc = None                # sim.Process, set by the machine
+        self._restored = False
+        self.finished = False
+        # Synchronous-hit accounting: busy cycles and cache-hit stall
+        # cycles accumulated outside the event engine, flushed as one
+        # lump before the next real event.  fast_mem_cycles is moved
+        # from "busy" to "memory" when the run's breakdown is collected.
+        self._debt = 0.0
+        self.fast_mem_cycles = 0.0
+
+    # ------------------------------------------------------------ accounting
+
+    def _push(self, cat: str) -> None:
+        self.bd.push(cat, self.machine.engine.now)
+
+    def _pop(self) -> None:
+        self.bd.pop(self.machine.engine.now)
+
+    # ------------------------------------------------------- effective state
+
+    @property
+    def is_master(self) -> bool:
+        """True for the task-0 pair."""
+        return self.tid == 0
+
+    @property
+    def team_size(self) -> int:
+        """Width of the active region's team (1 outside regions)."""
+        if self.in_region and self.current_job is not None:
+            return self.current_job.team_size
+        return 1
+
+    def _setting(self) -> Tuple[str, int]:
+        """The slipstream (type, tokens) governing right now."""
+        if self.in_region and self.current_job is not None:
+            return self.current_job.slip_setting
+        return self.control.effective
+
+    @property
+    def slipping(self) -> bool:
+        """Is the A-R protocol engaged for this shell right now?"""
+        return (self.channel is not None
+                and self._setting()[0] != "NONE")
+
+    @property
+    def dormant(self) -> bool:
+        """A-stream with slipstream disabled (type NONE): executes but
+        touches no shared memory and takes no part in token exchange."""
+        return self.role == "A" and self._setting()[0] == "NONE"
+
+    # ------------------------------------------------------------ memory ops
+
+    def timed_load(self, addr: int):
+        """Generator: timed shared load at this shell's CPU."""
+        ms = self.machine.memsys
+        if ms.l1_probe(self.node, self.cpu, addr):
+            yield float(self.machine.cfg.l1.hit_cycles)
+            return
+        top = self.bd.depth == 0
+        if top:
+            self._push("memory")
+        try:
+            yield from ms.load(self.node, self.cpu, addr, self.role)
+        finally:
+            if top:
+                self._pop()
+
+    def timed_store(self, addr: int):
+        """Generator: timed shared store at this shell's CPU."""
+        top = self.bd.depth == 0
+        if top:
+            self._push("memory")
+        try:
+            yield from self.machine.memsys.store(self.node, self.cpu, addr,
+                                                 self.role)
+        finally:
+            if top:
+                self._pop()
+
+    def _same_session(self) -> bool:
+        """Store->prefetch conversion applies only when the A-stream is
+        in the same (barrier-delimited) session as its R-stream."""
+        ch = self.channel
+        return ch is not None and len(ch.a_sites) == len(ch.r_sites)
+
+    #: Force a slow (engine-visible) load once this much synchronous time
+    #: has accumulated, so user-level spin loops observe other streams'
+    #: stores with bounded timing skew.
+    DEBT_LIMIT = 400.0
+
+    def _fast_read(self, gidx: int, flat: int):
+        """VM callback: synchronous load path for cache hits."""
+        if self.dormant:
+            self._debt += 1.0
+            return self.machine.store.read(gidx, flat)
+        if self._debt > self.DEBT_LIMIT:
+            return MISS
+        addr = self.machine.gaddr(gidx, flat)
+        lat = self.machine.memsys.try_fast_load(self.node, self.cpu, addr,
+                                                self.role)
+        if lat is None:
+            return MISS
+        self._debt += 1.0
+        if lat > 1.0:
+            self.fast_mem_cycles += lat - 1.0
+            self._debt += lat - 1.0
+        return self.machine.store.read(gidx, flat)
+
+    def _fast_write(self, gidx: int, flat: int, value) -> bool:
+        """VM callback: synchronous store path.  Returns True when fully
+        handled (A-stream skip without prefetch, or an exclusive hit)."""
+        if self.role == "A":
+            if self.dormant or not self._same_session():
+                self._debt += 1.0
+                return True
+            addr = self.machine.gaddr(gidx, flat)
+            if not self.machine.memsys.prefetch_would_fire(self.node, addr):
+                self._debt += 1.0
+                return True
+            return False               # slow path issues the prefetch
+        addr = self.machine.gaddr(gidx, flat)
+        lat = self.machine.memsys.try_fast_store(self.node, self.cpu, addr,
+                                                 self.role)
+        if lat is None:
+            return False
+        self._debt += lat
+        self.fast_mem_cycles += lat - 1.0
+        self.machine.store.write(gidx, flat, value)
+        return True
+
+    def _flush_debt(self):
+        d = self._debt
+        if d:
+            self._debt = 0.0
+            yield d
+
+    def _mem_read(self, ev: MemRead):
+        """Slow path: the access missed the CMP."""
+        addr = self.machine.gaddr(ev.gidx, ev.flat)
+        yield from self.timed_load(addr)
+        self.vm.push(self.machine.store.read(ev.gidx, ev.flat))
+
+    def _mem_write(self, ev: MemWrite):
+        if self.role == "A":
+            # In-session shared store converted to a non-binding
+            # prefetch-exclusive (§5.1: "converting some of the shared
+            # stores into prefetches").
+            addr = self.machine.gaddr(ev.gidx, ev.flat)
+            self.machine.memsys.prefetch_exclusive(self.node, addr, "A")
+            yield 1.0
+            return
+        addr = self.machine.gaddr(ev.gidx, ev.flat)
+        yield from self.timed_store(addr)
+        self.machine.store.write(ev.gidx, ev.flat, ev.value)
+
+    # ------------------------------------------------------------- VM driving
+
+    def _vm_loop(self):
+        """Run the current VM to completion, servicing its events."""
+        vm = self.vm
+        vm.fast_read = self._fast_read
+        vm.fast_write = self._fast_write
+        while True:
+            try:
+                ev = vm.run()
+            except (VMError, ArithmeticError, IndexError, TypeError,
+                    ValueError, KeyError) as e:
+                if self.role == "A":
+                    # Speculative fault (wild index, integer trap, ...
+                    # computed from stale shared values): park until the
+                    # R-stream's next barrier repairs us.
+                    if self.channel is not None:
+                        self.channel.mark_fault(f"VM fault: {e}")
+                    yield from self._park()
+                    continue            # unreachable (park never returns)
+                raise
+            self._debt += vm.take_cycles()
+            yield from self._flush_debt()
+            k = type(ev)
+            if k is MemRead:
+                yield from self._mem_read(ev)
+            elif k is MemWrite:
+                yield from self._mem_write(ev)
+            elif k is RtCall:
+                yield from self._rt(ev)
+            elif k is IoOut:
+                yield from self._io_out(ev)
+            elif k is TimeSlice:
+                continue                # debt already flushed above
+            else:                       # Done
+                return ev.value
+
+    def _park(self):
+        """Block forever (until interrupted by recovery or teardown)."""
+        self.machine.note_parked(self)
+        yield self.machine.engine.event(name=f"park:{self.name}")
+        raise RuntimeError(f"{self.name}: park event fired unexpectedly")
+
+    # -------------------------------------------------------------- top level
+
+    def run_master(self):
+        """Process body for the master pair (R-master runs main; the
+        A-master shadows it in reduced form)."""
+        try:
+            while True:
+                try:
+                    if not self._restored:
+                        self.vm = VM(self.machine.program,
+                                     self.machine.program.main_index)
+                    self._restored = False
+                    result = yield from self._vm_loop()
+                    if self.role == "R":
+                        self.machine.master_done(result)
+                    self.finished = True
+                    return result
+                except Interrupt:
+                    if self.role != "A":
+                        raise
+                    self._restore_from_recovery()
+        finally:
+            self.bd.close(self.machine.engine.now)
+
+    def run_slave(self):
+        """Process body for slave pairs: spin for a job, run it, repeat.
+        R-slaves signal completion; A-slaves run the reduced version."""
+        flag = self.team.job_flags[self.tid - 1]
+        done_w = self.team.done_words[self.tid - 1]
+        try:
+            while True:
+                try:
+                    if not self._restored:
+                        want = self.current_gen + 1
+                        self._push("jobwait")
+                        try:
+                            yield from spin_until(self, flag,
+                                                  lambda v: v >= want,
+                                                  cap=JOBWAIT_BACKOFF_CAP)
+                        finally:
+                            self._pop()
+                        self.current_gen = want
+                        job = self.team.job_at(want)
+                        if (job is None or job.serial
+                                or self.tid >= job.team_size):
+                            continue    # serial region, or we are outside
+                                        # this region's (narrowed) team
+                        yield from self._read_job_descriptor(job)
+                        self.current_job = job
+                        self.in_region = True
+                        if self.channel is not None and self.role == "R":
+                            self.channel.begin_region(*job.slip_setting)
+                        self.vm = VM(self.machine.program, job.fidx,
+                                     job.args)
+                    self._restored = False
+                    yield from self._vm_loop()
+                    yield from self._job_epilogue(done_w)
+                except Interrupt:
+                    if self.role != "A":
+                        raise
+                    self._restore_from_recovery()
+        finally:
+            self.bd.close(self.machine.engine.now)
+
+    def _read_job_descriptor(self, job: Job):
+        """Load the master-published descriptor (timing)."""
+        nwords = min(2 + len(job.args), len(self.team.desc_words))
+        for w in self.team.desc_words[:nwords]:
+            yield from word_load(self, w)
+
+    def _job_epilogue(self, done_w):
+        """End-of-region join handling for a slave."""
+        job = self.current_job
+        site = _join_site(job.fidx)
+        if self.role == "R":
+            if self.slipping:
+                ch = self.channel
+                ch.r_reached_barrier(site)
+                reason = ch.divergence_detected()
+                if reason is not None:
+                    self._do_recovery(reason)
+                if ch.sync_type == "LOCAL_SYNC":
+                    ch.insert_token()
+            yield from word_store(self, done_w, job.gen)
+            if self.slipping and self.channel.sync_type == "GLOBAL_SYNC":
+                self.channel.insert_token()
+        else:
+            if self.slipping:
+                self.channel.a_reached_barrier(site)
+                self._push("a_wait")
+                try:
+                    yield from self.channel.consume_token()
+                finally:
+                    self._pop()
+                self._maybe_self_invalidate()
+        self.in_region = False
+        self.current_job = None
+        self.vm = None
+
+    # ----------------------------------------------------- recovery plumbing
+
+    def _do_recovery(self, reason: str) -> None:
+        """R-stream side: re-fork the A-stream from our state (§2.2:
+        'recovery is invoked if divergence is detected')."""
+        a = self.pair
+        ch = self.channel
+        self.machine.log_recovery(self, reason)
+        ch.pending_restore = {
+            "frames": self.vm.snapshot() if self.vm is not None else None,
+            "site_seq": dict(self.site_seq),
+            "active_loops": {s: LoopLocal(l.seq, l.kind, l.chunk, l.total,
+                                          l.pos, l.block_given, l.decisions)
+                             for s, l in self.active_loops.items()},
+            "current_gen": self.current_gen,
+            "current_job": self.current_job,
+            "in_region": self.in_region,
+        }
+        ch.reset_after_recovery()
+        a.proc.interrupt("slipstream-recovery")
+
+    def _restore_from_recovery(self) -> None:
+        """A-stream side: adopt the R-stream's architectural state."""
+        snap = self.channel.pending_restore
+        self.machine.unpark(self)
+        if snap["frames"] is not None:
+            if self.vm is None:
+                self.vm = VM(self.machine.program,
+                             self.machine.program.main_index)
+            self.vm.restore(snap["frames"])
+        self.site_seq = dict(snap["site_seq"])
+        self.active_loops = {
+            s: LoopLocal(l.seq, l.kind, l.chunk, l.total, l.pos,
+                         l.block_given, l.decisions)
+            for s, l in snap["active_loops"].items()}
+        self.current_gen = snap["current_gen"]
+        self.current_job = snap["current_job"]
+        self.in_region = snap["in_region"]
+        self._restored = True
+
+    # ------------------------------------------------------------ I/O events
+
+    def _io_out(self, ev: IoOut):
+        if self.role == "A":
+            yield 1.0                   # irreversible: A-streams skip I/O
+            return
+        self._push("io")
+        try:
+            yield float(self.machine.io_cycles)
+        finally:
+            self._pop()
+        self.machine.output.append(tuple(ev.values))
+
+    # ------------------------------------------------------- runtime dispatch
+
+    def _rt(self, ev: RtCall):
+        handler = getattr(self, "_rt_" + ev.name, None)
+        if handler is None:
+            raise RuntimeError(f"unknown runtime call {ev.name!r}")
+        yield from handler(ev)
+
+    # -- parallel region management -------------------------------------
+
+    def _team_size_for(self, nthreads_val, serial: bool) -> int:
+        """Resolve the region's team width: if(false) => 1; else the
+        num_threads clause, else OMP_NUM_THREADS, else the full pool --
+        all capped by available tasks."""
+        if serial:
+            return 1
+        if nthreads_val and nthreads_val > 0:
+            return max(1, min(int(nthreads_val), self.team.n_tasks))
+        env_n = self.machine.env.num_threads
+        if env_n is not None:
+            return max(1, min(env_n, self.team.n_tasks))
+        return self.team.n_tasks
+
+    def _rt_parallel_begin(self, ev: RtCall):
+        fidx, ncap = ev.static
+        if_val, nthreads_val = ev.args[-2], ev.args[-1]
+        captured = ev.args[:ncap]
+        setting = self.control.region_enter()
+        serial = not bool(if_val)
+        team_size = self._team_size_for(nthreads_val, serial)
+        if self.role == "R":
+            job = self.team.new_job(fidx, captured, setting, serial,
+                                    team_size=team_size)
+            self.team.region_setting = setting
+            self.current_job = job
+            self.current_gen = job.gen
+            if self.channel is not None:
+                self.channel.begin_region(*setting)
+            if not serial:
+                # Publish the descriptor, then raise every slave's flag.
+                nwords = min(2 + len(captured), len(self.team.desc_words))
+                for w in self.team.desc_words[:nwords]:
+                    yield from word_store(self, w, job.gen)
+                for flag in self.team.job_flags:
+                    yield from word_store(self, flag, job.gen)
+        else:
+            # The A-master does not post jobs (its shared stores are
+            # skipped); it mirrors the bookkeeping and runs the region.
+            self.current_gen += 1
+            job = self.team.job_at(self.current_gen)
+            if job is None:
+                job = Job(self.current_gen, fidx, tuple(captured), setting,
+                          serial=serial, team_size=team_size)
+            self.current_job = job
+            yield 1.0
+        self.in_region = True
+
+    def _rt_parallel_end(self, ev: RtCall):
+        job = self.current_job
+        site = _join_site(job.fidx if job is not None else 0)
+        if self.role == "R":
+            if self.slipping:
+                ch = self.channel
+                ch.r_reached_barrier(site)
+                reason = ch.divergence_detected()
+                if reason is not None:
+                    self._do_recovery(reason)
+                if ch.sync_type == "LOCAL_SYNC":
+                    ch.insert_token()
+            if job is not None and not job.serial:
+                self._push("barrier")
+                try:
+                    # Join only the slaves that participated (slave t
+                    # has done-word index t-1).
+                    for done_w in self.team.done_words[:job.team_size - 1]:
+                        yield from spin_until(self, done_w,
+                                              lambda v, g=job.gen: v >= g)
+                finally:
+                    self._pop()
+            if self.slipping and self.channel.sync_type == "GLOBAL_SYNC":
+                self.channel.insert_token()
+        else:
+            if self.slipping:
+                self.channel.a_reached_barrier(site)
+                self._push("a_wait")
+                try:
+                    yield from self.channel.consume_token()
+                finally:
+                    self._pop()
+                self._maybe_self_invalidate()
+            else:
+                yield 1.0
+        self.in_region = False
+        self.current_job = None
+        self.control.region_exit()
+
+    # -- barriers ---------------------------------------------------------
+
+    def _rt_barrier(self, ev: RtCall):
+        site = ev.static[0]
+        yield from self._barrier(site)
+
+    def _barrier(self, site: int):
+        if self.role == "R":
+            if self.slipping:
+                ch = self.channel
+                ch.r_reached_barrier(site)
+                reason = ch.divergence_detected()
+                if reason is not None:
+                    self._do_recovery(reason)
+                if ch.sync_type == "LOCAL_SYNC":
+                    ch.insert_token()
+            self.machine.memsys.bump_epoch(self.node)
+            if self.team_size > 1:
+                self._push("barrier")
+                try:
+                    yield from self.team.barrier.wait(
+                        self, participants=self.team_size)
+                finally:
+                    self._pop()
+            else:
+                yield 1.0
+            if self.slipping and self.channel.sync_type == "GLOBAL_SYNC":
+                self.channel.insert_token()
+        else:
+            if self.slipping:
+                self.channel.a_reached_barrier(site)
+                self._push("a_wait")
+                try:
+                    yield from self.channel.consume_token()
+                finally:
+                    self._pop()
+                self._maybe_self_invalidate()
+            else:
+                yield 1.0               # dormant A sails through
+
+    def _maybe_self_invalidate(self) -> None:
+        """Slipstream self-invalidation: tied to global synchronization
+        (§3.2.1) and enabled by machine option."""
+        if (self.machine.selfinv
+                and self.channel.sync_type == "GLOBAL_SYNC"):
+            self.machine.memsys.self_invalidate_stale(self.node)
+
+    # -- worksharing --------------------------------------------------------
+
+    def _next_seq(self, site: int) -> int:
+        seq = self.site_seq.get(site, 0)
+        self.site_seq[site] = seq + 1
+        return seq
+
+    def _rt_sched_init(self, ev: RtCall):
+        site, kind, chunk = ev.static
+        lo, hi, step = ev.args
+        if kind == "runtime":
+            kind, env_chunk = self.machine.env.schedule
+            chunk = chunk if chunk is not None else env_chunk
+        n = max(0, -((int(lo) - int(hi)) // int(step)))
+        seq = self._next_seq(site)
+        ll = LoopLocal(seq=seq, kind=kind, chunk=chunk, total=n)
+        if kind == "static":
+            ll.pos = self.tid          # chunked static starts at own index
+        self.active_loops[site] = ll
+        if (kind in ("dynamic", "guided") and self.role == "R"
+                and not self.dormant):
+            self.team.loop_shared(site, seq, n)   # materialize shared state
+        yield 2.0
+
+    def _rt_sched_next(self, ev: RtCall):
+        site = ev.static[0]
+        ll = self.active_loops[site]
+        if ll.kind == "static":
+            result = self._static_next(ll)
+            yield 3.0
+        elif self.role == "A" and not self.dormant:
+            result = yield from self._a_take(("sched", site, ll.decisions))
+            ll.decisions += 1
+            self._note_last(ll, result)
+        else:
+            self._push("scheduling")
+            try:
+                result = yield from self._shared_next(site, ll)
+            finally:
+                self._pop()
+            if self.role == "R" and self.slipping:
+                self.channel.publish("sched", site, ll.decisions, result)
+            ll.decisions += 1
+        self.vm.push(result)
+
+    def _static_next(self, ll: LoopLocal):
+        T = self.team_size
+        t = self.tid if self.team_size > 1 else 0
+        if ll.chunk is None:
+            if ll.block_given:
+                return None
+            ll.block_given = True
+            start = ll.total * t // T
+            end = ll.total * (t + 1) // T
+            if end <= start:
+                return None
+            return self._note_last(ll, (start, end - start))
+        # static,chunk: round-robin chunks of fixed size
+        start = ll.pos * ll.chunk
+        if start >= ll.total:
+            return None
+        ll.pos += T
+        return self._note_last(ll, (start, min(ll.chunk, ll.total - start)))
+
+    @staticmethod
+    def _note_last(ll: LoopLocal, chunk):
+        """Track whether this thread's chunk contained the final
+        iteration (lastprivate semantics)."""
+        if chunk is not None and chunk[0] + chunk[1] >= ll.total:
+            ll.had_last = True
+        return chunk
+
+    def _rt_loop_is_last(self, ev: RtCall):
+        site = ev.static[0]
+        yield 1.0
+        ll = self.active_loops.get(site)
+        self.vm.push(1 if ll is not None and ll.had_last else 0)
+
+    def _shared_next(self, site: int, ll: LoopLocal):
+        """Dynamic/guided chunk grab under the scheduler critical section."""
+        ls = self.team.loop_shared(site, ll.seq, ll.total)
+        yield from ls.lock.acquire(self)
+        try:
+            nxt = yield from word_load(self, ls.next_word)
+            if nxt >= ls.total:
+                return None
+            if ll.kind == "dynamic":
+                cnt = min(ll.chunk or 1, ls.total - nxt)
+            else:  # guided: proportional to remaining work
+                T = max(1, self.team_size)
+                cnt = max(ll.chunk or 1, (ls.total - nxt) // (2 * T))
+                cnt = min(cnt, ls.total - nxt)
+            yield from word_store(self, ls.next_word, nxt + cnt)
+            return self._note_last(ll, (nxt, cnt))
+        finally:
+            yield from ls.lock.release(self)
+
+    def _a_take(self, key):
+        """A-stream retrieves its R-stream's published decision (§3.2.2:
+        'it synchronizes, waiting for its R-stream to reach this
+        region')."""
+        kind, site, idx = key
+        self._push("a_wait")
+        try:
+            ok, payload = yield from self.channel.take(kind, site, idx)
+        finally:
+            self._pop()
+        if not ok:
+            self.channel.mark_fault(
+                f"mailbox mismatch at {kind} site {site} #{idx}")
+            yield from self._park()
+        return payload
+
+    # -- sections --------------------------------------------------------
+
+    def _rt_sections_init(self, ev: RtCall):
+        site, n = ev.static
+        seq = self._next_seq(site)
+        kind = "static" if self.machine.sections_static else "dynamic"
+        ll = LoopLocal(seq=seq, kind=kind, chunk=1, total=n)
+        if kind == "static":
+            ll.pos = self.tid
+        self.active_loops[site] = ll
+        if kind == "dynamic" and self.role == "R" and not self.dormant:
+            self.team.loop_shared(site, seq, n)
+        yield 2.0
+
+    def _rt_sections_next(self, ev: RtCall):
+        site = ev.static[0]
+        ll = self.active_loops[site]
+        if ll.kind == "static":
+            if ll.pos >= ll.total:
+                result = None
+            else:
+                result = ll.pos
+                ll.pos += max(1, self.team_size)
+            yield 2.0
+        elif self.role == "A" and not self.dormant:
+            chunk = yield from self._a_take(("sect", site, ll.decisions))
+            ll.decisions += 1
+            result = chunk
+        else:
+            self._push("scheduling")
+            try:
+                chunk = yield from self._shared_next(site, ll)
+            finally:
+                self._pop()
+            result = chunk[0] if chunk is not None else None
+            if self.role == "R" and self.slipping:
+                self.channel.publish("sect", site, ll.decisions, result)
+            ll.decisions += 1
+        self.vm.push(result)
+
+    # -- single / master / critical / atomic / flush -------------------------
+
+    def _rt_single_begin(self, ev: RtCall):
+        site = ev.static[0]
+        seq = self._next_seq(site)
+        if self.role == "A":
+            # "There is no clear way an A-stream can tell that its
+            # R-stream will execute this section ... skipped" (§3.1).
+            yield 1.0
+            self.vm.push(0)
+            return
+        if self.team_size == 1:
+            yield 1.0
+            self.vm.push(1)
+            return
+        ticket = self.team.single_ticket(site, seq)
+        self._push("lock")
+        try:
+            old = yield from word_rmw(self, ticket, lambda v: v + 1)
+        finally:
+            self._pop()
+        self.vm.push(1 if old == 0 else 0)
+
+    def _rt_is_master(self, ev: RtCall):
+        yield 1.0
+        self.vm.push(1 if self.tid == 0 else 0)
+
+    def _rt_crit_enter(self, ev: RtCall):
+        cid = ev.static[0]
+        if self.role == "A":
+            # Skipped: prefetched data "highly likely not to be migrated"
+            # does not hold for critical sections (§3.1 item 5) -- unless
+            # the ablation option forces execution (lock-free, stores
+            # suppressed anyway).
+            yield 1.0
+            self.vm.push(1 if self.machine.a_exec_critical else 0)
+            return
+        self._push("lock")
+        try:
+            yield from self.team.crit_lock(cid).acquire(self)
+        finally:
+            self._pop()
+        self.vm.push(1)
+
+    def _rt_crit_exit(self, ev: RtCall):
+        cid = ev.static[0]
+        if self.role == "A":
+            yield 1.0
+            return
+        yield from self.team.crit_lock(cid).release(self)
+
+    def _rt_atomic_enter(self, ev: RtCall):
+        site = ev.static[0]
+        if self.role == "A":
+            yield 1.0                   # executes the update, lock-free
+            return
+        self._push("lock")
+        try:
+            yield from self.team.atomic_lock(site).acquire(self)
+        finally:
+            self._pop()
+
+    def _rt_atomic_exit(self, ev: RtCall):
+        site = ev.static[0]
+        if self.role == "A":
+            yield 1.0
+            return
+        yield from self.team.atomic_lock(site).release(self)
+
+    def _rt_flush(self, ev: RtCall):
+        # Hardware-coherent system: "this construct maps to void"; the
+        # A-stream skips it outright (§3.1 item 7).
+        yield 1.0 if self.role == "A" else 2.0
+
+    # -- reductions --------------------------------------------------------
+
+    def _rt_reduce(self, ev: RtCall):
+        op, gidx = ev.static
+        (value,) = ev.args
+        sync = self.machine.sync_after_reduction and self.slipping
+        if self.role == "A":
+            if sync:
+                # §3.1: "The A-stream may need to synchronize with its
+                # R-stream, if the outcome of the reduction operation
+                # will affect program control flow."  Wait for our
+                # R-stream's combine before proceeding.
+                idx = self.site_seq.get(("red", gidx), 0)
+                self.site_seq[("red", gidx)] = idx + 1
+                yield from self._a_take(("red", gidx, idx))
+            yield 1.0                   # combine touches shared state: skip
+            return
+        addr = self.machine.gaddr(gidx, 0)
+        self._push("lock")
+        try:
+            yield from self.team.reduction_lock.acquire(self)
+            yield from self.timed_load(addr)
+            cur = self.machine.store.read(gidx, 0)
+            yield from self.timed_store(addr)
+            self.machine.store.write(gidx, 0, _combine(op, cur, value))
+            yield from self.team.reduction_lock.release(self)
+        finally:
+            self._pop()
+        if sync:
+            idx = self.site_seq.get(("red", gidx), 0)
+            self.site_seq[("red", gidx)] = idx + 1
+            self.channel.publish("red", gidx, idx, None)
+
+    # -- misc queries -------------------------------------------------------
+
+    def _rt_astream_probe(self, ev: RtCall):
+        yield 1.0
+        self.vm.push(1 if self.role == "A" else 0)
+
+    def _rt_tid(self, ev: RtCall):
+        yield 1.0
+        self.vm.push(self.tid if self.team_size > 1 else 0)
+
+    def _rt_nthreads(self, ev: RtCall):
+        yield 1.0
+        self.vm.push(self.team_size)
+
+    def _rt_wtime(self, ev: RtCall):
+        yield 1.0
+        ghz = self.machine.cfg.clock_ghz
+        self.vm.push(self.machine.engine.now / (ghz * 1e9))
+
+    def _rt_io_read(self, ev: RtCall):
+        if self.role == "A":
+            # "Input operations ... the A-stream should see the same
+            # image of the data that the R-stream sees" (§3.1): wait on
+            # the syscall semaphore for the recorded value.
+            if self.dormant or not self.slipping:
+                yield 1.0
+                self.vm.push(0.0)
+                return
+            idx = self.site_seq.get("io", 0)
+            self.site_seq["io"] = idx + 1
+            value = yield from self._a_take(("input", 0, idx))
+            self.vm.push(value)
+            return
+        self._push("io")
+        try:
+            yield float(self.machine.io_cycles)
+        finally:
+            self._pop()
+        value = self.machine.next_input()
+        if self.slipping:
+            idx = self.site_seq.get("io", 0)
+            self.site_seq["io"] = idx + 1
+            self.channel.publish("input", 0, idx, value)
+        self.vm.push(value)
+
+    # -- slipstream directive -------------------------------------------------
+
+    def _rt_slipstream_set(self, ev: RtCall):
+        sync_type, tokens, region_scoped = ev.static
+        (cond,) = ev.args
+        self.control.directive(sync_type, tokens, bool(cond), region_scoped)
+        yield 1.0
+
+
+def _combine(op: str, a, b):
+    if op == "+":
+        return a + b
+    if op == "*":
+        return a * b
+    if op == "max":
+        return a if a > b else b
+    return a if a < b else b

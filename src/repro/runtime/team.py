@@ -1,0 +1,147 @@
+"""Thread team: Omni-style master/slave pool, job dispatch, worksharing.
+
+The Omni runtime creates all processes at program start and parks the
+slaves in an idle pool: "The idle processes spin (on a flag), waiting
+for jobs by the master.  When a parallel region is encountered, the
+master assigns the job ... to a global variable, then sets the flags".
+We reproduce that structure: per-slave job-flag words (spun on -> the
+paper's *job wait* time), a job descriptor read by every participant,
+per-slave done words for the join, and shared scheduler state for
+dynamic/guided worksharing (a lock-protected counter -- "the scheduling
+decision should be serialized using a critical section").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .words import RTWord, SpinLock, SenseBarrier
+
+__all__ = ["Job", "LoopShared", "LoopLocal", "Team"]
+
+#: Maximum captured args a job descriptor publishes (timing only).
+MAX_JOB_ARGS = 16
+
+
+@dataclass
+class Job:
+    """One posted parallel region."""
+
+    gen: int
+    fidx: int
+    args: Tuple
+    slip_setting: Tuple[str, int]
+    serial: bool = False        # if(...) clause was false: team of one
+    team_size: int = 1
+
+
+@dataclass
+class LoopShared:
+    """Shared scheduler state for one dynamic/guided loop instance."""
+
+    lock: SpinLock
+    next_word: RTWord
+    total: int
+
+
+@dataclass
+class LoopLocal:
+    """Per-thread view of the active worksharing construct at a site."""
+
+    seq: int
+    kind: str
+    chunk: Optional[int]
+    total: int
+    # static scheduling cursor
+    pos: int = 0
+    block_given: bool = False
+    # index of the next decision (for A-R mailbox alignment)
+    decisions: int = 0
+    # did one of this thread's chunks contain the final iteration?
+    had_last: bool = False
+
+
+class Team:
+    """All runtime-shared state for one program run."""
+
+    def __init__(self, machine, n_tasks: int):
+        self.machine = machine
+        self.n_tasks = n_tasks              # parallel tasks (R-streams)
+        self.jobs: List[Optional[Job]] = [None]   # gen 0 unused
+        self.gen = 0
+        # Per-slave words, placed on distinct lines (first touch by the
+        # spinning slave homes them at the slave's node).
+        self.job_flags: List[RTWord] = [
+            machine.rt_word(f"jobflag{t}") for t in range(1, n_tasks)]
+        self.done_words: List[RTWord] = [
+            machine.rt_word(f"done{t}") for t in range(1, n_tasks)]
+        self.desc_words: List[RTWord] = [
+            machine.rt_word(f"jobdesc{k}") for k in range(2 + MAX_JOB_ARGS)]
+        self.barrier = SenseBarrier(
+            machine.rt_word("bar.count"), machine.rt_word("bar.sense"),
+            participants=n_tasks)
+        self.reduction_lock = SpinLock(machine.rt_word("redlock"))
+        self._crit_locks: Dict[int, SpinLock] = {}
+        self._atomic_locks: Dict[int, SpinLock] = {}
+        self._loops: Dict[Tuple[int, int], LoopShared] = {}
+        self._singles: Dict[Tuple[int, int], RTWord] = {}
+        self.region_setting: Tuple[str, int] = ("GLOBAL_SYNC", 0)
+
+    # ------------------------------------------------------------- lookups
+
+    def crit_lock(self, cid: int) -> SpinLock:
+        """Lock backing one named critical section."""
+        lk = self._crit_locks.get(cid)
+        if lk is None:
+            lk = SpinLock(self.machine.rt_word(f"crit{cid}"))
+            self._crit_locks[cid] = lk
+        return lk
+
+    def atomic_lock(self, site: int) -> SpinLock:
+        """Lock backing one atomic construct site."""
+        lk = self._atomic_locks.get(site)
+        if lk is None:
+            lk = SpinLock(self.machine.rt_word(f"atomic{site}"))
+            self._atomic_locks[site] = lk
+        return lk
+
+    def loop_shared(self, site: int, seq: int, total: int) -> LoopShared:
+        """Get-or-create the shared counter for a loop instance (the
+        first thread to reach sched_init materializes it)."""
+        key = (site, seq)
+        ls = self._loops.get(key)
+        if ls is None:
+            ls = LoopShared(
+                lock=SpinLock(self.machine.rt_word(f"schedlock{site}.{seq}")),
+                next_word=self.machine.rt_word(f"schednext{site}.{seq}"),
+                total=total)
+            self._loops[key] = ls
+        return ls
+
+    def single_ticket(self, site: int, seq: int) -> RTWord:
+        """Shared ticket word for one single-construct instance."""
+        key = (site, seq)
+        w = self._singles.get(key)
+        if w is None:
+            w = self.machine.rt_word(f"single{site}.{seq}")
+            self._singles[key] = w
+        return w
+
+    # ---------------------------------------------------------- job posting
+
+    def new_job(self, fidx: int, args: Tuple,
+                slip_setting: Tuple[str, int], serial: bool,
+                team_size: Optional[int] = None) -> Job:
+        """Post the next parallel-region job descriptor."""
+        self.gen += 1
+        if team_size is None:
+            team_size = 1 if serial else self.n_tasks
+        job = Job(self.gen, fidx, tuple(args), slip_setting,
+                  serial=serial, team_size=team_size)
+        self.jobs.append(job)
+        return job
+
+    def job_at(self, gen: int) -> Optional[Job]:
+        """Job for a generation number (None if not yet posted)."""
+        return self.jobs[gen] if gen < len(self.jobs) else None

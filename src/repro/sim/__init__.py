@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate (stands in for SimOS's event core)."""
+
+from .engine import Engine, Interrupt, Process, SimEvent, SimulationError
+from .resources import Mutex, Semaphore, Server
+from .stats import CATEGORIES, Counter, TimeBreakdown
+
+__all__ = [
+    "Engine", "Interrupt", "Process", "SimEvent", "SimulationError",
+    "Mutex", "Semaphore", "Server",
+    "CATEGORIES", "Counter", "TimeBreakdown",
+]

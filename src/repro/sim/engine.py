@@ -1,0 +1,261 @@
+"""Discrete-event simulation engine.
+
+The engine drives *processes* -- plain Python generators that yield
+:class:`SimEvent` objects (resume when the event fires) or non-negative
+numbers (resume after that many simulated time units).  Sub-routines
+compose with ``yield from``, so a simulated CPU can call into a runtime
+library which calls into a coherence protocol, all sharing one generator
+stack.
+
+Determinism: events scheduled for the same timestamp are processed in
+scheduling order (a monotone sequence number breaks ties), so repeated
+runs of the same configuration produce identical cycle counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["SimEvent", "Process", "Engine", "SimulationError", "Interrupt"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double fire, deadlock, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    Used by slipstream recovery to abort a diverged A-stream mid-wait.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    An event is *fired* at most once, optionally with a value; every
+    process waiting on it is resumed at the fire time and receives the
+    value as the result of its ``yield``.
+    """
+
+    __slots__ = ("engine", "fired", "value", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+        self.name = name
+
+    def fire(self, value: Any = None, delay: float = 0.0) -> None:
+        """Fire the event ``delay`` time units from now."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        for proc in self._waiters:
+            self.engine._schedule(proc, delay, value)
+        self._waiters.clear()
+
+    def _subscribe(self, proc: "Process") -> None:
+        if self.fired:
+            # Late subscription: resume immediately with the stored value.
+            self.engine._schedule(proc, 0.0, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def remove_waiter(self, proc: "Process") -> bool:
+        """Stop ``proc`` from being resumed by this event.  Returns True
+        if the process was actually waiting here."""
+        try:
+            self._waiters.remove(proc)
+            return True
+        except ValueError:
+            return False
+
+
+class Process:
+    """A running generator coroutine inside the engine."""
+
+    __slots__ = ("engine", "gen", "name", "alive", "done_event", "result",
+                 "_waiting_on", "_pending_interrupt")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.done_event = SimEvent(engine, name=f"done:{name}")
+        self._waiting_on: Optional[SimEvent] = None
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        # Resume (the interrupt is delivered in _step).
+        self.engine._schedule(self, 0.0, None)
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its body."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self.gen.close()
+        if not self.done_event.fired:
+            self.done_event.fire(None)
+
+    def _step(self, sendval: Any) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if self._pending_interrupt is not None:
+                exc = self._pending_interrupt
+                self._pending_interrupt = None
+                cmd = self.gen.throw(exc)
+            else:
+                cmd = self.gen.send(sendval)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done_event.fire(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: it dies quietly.
+            self.alive = False
+            self.done_event.fire(None)
+            return
+        self._dispatch(cmd)
+
+    def _dispatch(self, cmd: Any) -> None:
+        if isinstance(cmd, SimEvent):
+            self._waiting_on = cmd
+            cmd._subscribe(self)
+        elif isinstance(cmd, (int, float)):
+            if cmd < 0:
+                raise SimulationError(f"negative delay {cmd!r} from {self.name}")
+            self.engine._schedule(self, float(cmd), None)
+        elif cmd is None:
+            self.engine._schedule(self, 0.0, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {cmd!r}")
+
+
+class Engine:
+    """The event loop: a clock plus a priority queue of resumptions."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list = []       # (time, seq, proc, value)
+        self._seq = 0
+        self._nprocs = 0
+        self.trace_hook: Optional[Callable[[float, Process], None]] = None
+
+    # -- process management -------------------------------------------------
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process, starting at the current time."""
+        proc = Process(self, gen, name=name or f"proc{self._nprocs}")
+        self._nprocs += 1
+        self._schedule(proc, 0.0, None)
+        return proc
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh one-shot event."""
+        return SimEvent(self, name=name)
+
+    def timeout_event(self, delay: float, value: Any = None,
+                      name: str = "") -> SimEvent:
+        """An event that fires by itself ``delay`` from now."""
+        evt = SimEvent(self, name=name)
+        evt.fired = True  # reserve; emulate by scheduling a firing shim
+        evt.fired = False
+        shim = self.process(_fire_later(evt, delay, value), name=f"timer:{name}")
+        del shim
+        return evt
+
+    def all_of(self, events: Iterable[SimEvent], name: str = "") -> SimEvent:
+        """Event that fires once every input event has fired."""
+        events = list(events)
+        out = self.event(name=name or "all_of")
+        pending = [e for e in events if not e.fired]
+        if not pending:
+            out.fire([e.value for e in events])
+            return out
+        remaining = {"n": len(pending)}
+
+        def watcher(evt):
+            yield evt
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                out.fire([e.value for e in events])
+
+        for e in pending:
+            self.process(watcher(e), name="all_of.watch")
+        return out
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, proc: Process, delay: float, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, proc, value))
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run one resumption.  Returns False when the queue is empty."""
+        while self._queue:
+            t, _seq, proc, value = heapq.heappop(self._queue)
+            if not proc.alive:
+                continue
+            self.now = t
+            if self.trace_hook is not None:
+                self.trace_hook(t, proc)
+            proc._step(value)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_steps: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_steps``
+        resumptions executed.  Returns the final clock value."""
+        steps = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            if max_steps is not None and steps >= max_steps:
+                break
+            self.step()
+            steps += 1
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Convenience: run a single root process to completion."""
+        proc = self.process(gen, name=name)
+        self.run(until=until)
+        if proc.alive:
+            raise SimulationError(
+                f"process {name!r} did not finish (deadlock or until= hit)")
+        return proc.result
+
+
+def _fire_later(evt: SimEvent, delay: float, value: Any):
+    yield delay
+    evt.fire(value)

@@ -1,0 +1,6 @@
+"""Slipstream execution core: pair channel, control state, recovery."""
+
+from .channel import PairChannel
+from .control import DEFAULT_SYNC, SlipControl
+
+__all__ = ["PairChannel", "DEFAULT_SYNC", "SlipControl"]

@@ -1,0 +1,145 @@
+"""The per-CMP A-R pair channel: token semaphore, syscall semaphore,
+scheduling mailbox, and divergence bookkeeping.
+
+This models the hardware the paper assumes inside each CMP:
+
+* the **token semaphore** -- "a shared register (or memory location)
+  between the two processors in a CMP" (Figure 1).  The A-stream
+  consumes a token to skip a parallelization barrier; the R-stream
+  inserts one at barrier entry (LOCAL_SYNC) or exit (GLOBAL_SYNC).  The
+  initial count bounds how far ahead the A-stream may run.
+* the **syscall semaphore** -- "initialized to zero and the token is
+  inserted by the R-stream when exiting these routines"; used for input
+  I/O and for forwarding dynamic-scheduling decisions (§3.2.2).
+* the **mailbox** carrying the R-stream's published scheduling decisions
+  and input values, tagged so a diverged A-stream popping the wrong
+  entry is detected.
+* barrier **site histories** for both streams, which implement the
+  divergence check the R-stream performs at each barrier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..sim import Engine, Semaphore
+
+__all__ = ["PairChannel"]
+
+
+class PairChannel:
+    """Hardware-level A-R coupling for one CMP node."""
+
+    def __init__(self, engine: Engine, node: int, op_latency: float = 0.0):
+        self.engine = engine
+        self.node = node
+        self.tokens = Semaphore(engine, f"tok:n{node}", initial=0,
+                                op_latency=op_latency)
+        self.syscall = Semaphore(engine, f"sys:n{node}", initial=0,
+                                 op_latency=op_latency)
+        self.mailbox: Deque[Tuple[str, int, int, object]] = deque()
+        # Divergence bookkeeping: barrier sites visited by each stream.
+        self.r_sites: List[int] = []
+        self.a_sites: List[int] = []
+        self.a_faulted = False
+        self.a_fault_reason: Optional[str] = None
+        self.sync_type = "GLOBAL_SYNC"
+        self.initial_tokens = 0
+        # statistics
+        self.recoveries = 0
+        self.tokens_consumed = 0
+        self.decisions_forwarded = 0
+
+    # -------------------------------------------------------------- region
+
+    def begin_region(self, sync_type: str, tokens: int) -> None:
+        """R-stream entering a parallel region: fix the sync policy and
+        (re)establish the initial token count (Fig. 1: 'at the beginning
+        of a parallel region, a number of tokens is allocated')."""
+        self.sync_type = sync_type
+        self.initial_tokens = tokens
+        delta = tokens - self.tokens.count
+        if delta > 0:
+            self.tokens.release(delta)
+        elif delta < 0:
+            self.tokens.count = tokens
+
+    # --------------------------------------------------------------- tokens
+
+    def insert_token(self) -> None:
+        """R-stream inserts one token (Fig. 1)."""
+        self.tokens.release()
+
+    def consume_token(self):
+        """Generator: the A-stream consumes one token (waiting if the
+        allocation is exhausted)."""
+        yield from self.tokens.acquire()
+        self.tokens_consumed += 1
+
+    # ------------------------------------------------------------- barriers
+
+    def r_reached_barrier(self, site: int) -> int:
+        """Record the R-stream's barrier visit; returns its index."""
+        self.r_sites.append(site)
+        return len(self.r_sites) - 1
+
+    def a_reached_barrier(self, site: int) -> int:
+        """Record the A-stream's barrier visit; returns its index."""
+        self.a_sites.append(site)
+        return len(self.a_sites) - 1
+
+    def a_predicted_visited(self) -> bool:
+        """The paper's token-count heuristic: 'the R-stream can check if
+        its A-stream has reached the same barrier by comparing the number
+        of tokens to the initial value'."""
+        return self.tokens.count < self.initial_tokens
+
+    def divergence_detected(self) -> Optional[str]:
+        """Ground-truth check: compare the aligned prefix of barrier-site
+        histories.  Returns a reason string if the A-stream diverged."""
+        if self.a_faulted:
+            return self.a_fault_reason or "a-stream fault"
+        n = min(len(self.r_sites), len(self.a_sites))
+        for k in range(n):
+            if self.r_sites[k] != self.a_sites[k]:
+                return (f"barrier history mismatch at #{k}: "
+                        f"R site {self.r_sites[k]} vs A site "
+                        f"{self.a_sites[k]}")
+        return None
+
+    def mark_fault(self, reason: str) -> None:
+        """Flag a speculative A-stream fault for the next check."""
+        self.a_faulted = True
+        self.a_fault_reason = reason
+
+    def reset_after_recovery(self) -> None:
+        """Re-align the channel after the A-stream is re-forked from the
+        R-stream's state (both streams now stand at the same barrier)."""
+        self.a_sites = list(self.r_sites)
+        self.a_faulted = False
+        self.a_fault_reason = None
+        self.mailbox.clear()
+        self.tokens.count = 0
+        self.recoveries += 1
+
+    # -------------------------------------------- scheduling / input relay
+
+    def publish(self, kind: str, site: int, seq: int, payload) -> None:
+        """R-stream publishes a decision (chunk, section id, input value)
+        and releases the syscall semaphore (§3.2.2)."""
+        self.mailbox.append((kind, site, seq, payload))
+        self.decisions_forwarded += 1
+        self.syscall.release()
+
+    def take(self, kind: str, site: int, seq: int):
+        """Generator (A-stream): wait for and retrieve the matching
+        decision.  Returns (ok, payload); ok=False flags divergence (the
+        A-stream asked for a decision the R-stream never made)."""
+        yield from self.syscall.acquire()
+        if not self.mailbox:
+            return False, None
+        got = self.mailbox.popleft()
+        if got[0] != kind or got[1] != site or got[2] != seq:
+            return False, got
+        return True, got[3]

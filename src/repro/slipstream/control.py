@@ -1,0 +1,105 @@
+"""Slipstream control state: directive scoping and runtime resolution.
+
+Implements §3.3 of the paper:
+
+* a slipstream directive executed in the serial part is a **global
+  setting** "for the program until being overridden by a later directive
+  in the serial region";
+* a directive attached to a parallel region **takes precedence but does
+  not override the global setting** -- "global settings are restored
+  upon exiting the parallel region";
+* ``RUNTIME_SYNC`` defers the choice to the ``OMP_SLIPSTREAM``
+  environment variable;
+* type ``NONE`` disables slipstream execution (A-streams idle);
+* the execution mode of a region is fixed for the whole region ("once
+  this execution mode of a parallel region is established, it remains
+  fixed to the end of this region").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..runtime.env import RuntimeEnv
+
+__all__ = ["SlipControl", "DEFAULT_SYNC"]
+
+#: Implementation default (the paper: "we assumed it to be global
+#: synchronization").
+DEFAULT_SYNC: Tuple[str, int] = ("GLOBAL_SYNC", 0)
+
+
+class SlipControl:
+    """Per-run slipstream setting resolution."""
+
+    def __init__(self, env: RuntimeEnv, enabled: bool):
+        self.env = env
+        #: machine-level intent (the paper's "control register"): only a
+        #: machine launched with A-stream resources can run slipstream.
+        self.enabled = enabled
+        self.global_setting: Optional[Tuple[str, int]] = None
+        self._pending_region: Optional[Tuple[str, int]] = None
+        self._region_active: Optional[Tuple[str, int]] = None
+        self.in_region = False
+
+    # ------------------------------------------------------------ directives
+
+    def directive(self, sync_type: str, tokens: int, cond: bool,
+                  region_scoped: bool) -> None:
+        """Execute a slipstream directive (the lowered runtime call)."""
+        if not cond:
+            return
+        setting = self._resolve_directive(sync_type, tokens)
+        if region_scoped:
+            self._pending_region = setting
+        else:
+            self.global_setting = setting
+
+    def _resolve_directive(self, sync_type: str,
+                           tokens: int) -> Tuple[str, int]:
+        if sync_type == "RUNTIME_SYNC":
+            return self.env.slipstream
+        return (sync_type, tokens)
+
+    # --------------------------------------------------------- region scope
+
+    def region_enter(self) -> Tuple[str, int]:
+        """Called at parallel_begin; returns the effective (type, tokens)
+        for this region, frozen until region_exit."""
+        if self._pending_region is not None:
+            setting = self._pending_region
+            self._pending_region = None
+        elif self.global_setting is not None:
+            setting = self.global_setting
+        elif self.env.slipstream_set:
+            setting = self.env.slipstream
+        else:
+            setting = DEFAULT_SYNC
+        self._region_active = setting
+        self.in_region = True
+        return setting
+
+    def region_exit(self) -> None:
+        """Global settings are restored on region exit (§3.3)."""
+        self._region_active = None
+        self.in_region = False
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def effective(self) -> Tuple[str, int]:
+        """The (type, tokens) setting currently in force."""
+        if self._region_active is not None:
+            return self._region_active
+        if self._pending_region is not None:
+            return self._pending_region
+        if self.global_setting is not None:
+            return self.global_setting
+        if self.env.slipstream_set:
+            return self.env.slipstream
+        return DEFAULT_SYNC
+
+    @property
+    def active(self) -> bool:
+        """Is slipstream actually running (resources + not NONE)?"""
+        return self.enabled and self.effective[0] != "NONE"

@@ -1,0 +1,122 @@
+"""Tests for the command-line front end."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+double a[64];
+double total;
+int i;
+void main() {
+    #pragma omp parallel for reduction(+: total)
+    for (i = 0; i < 64; i = i + 1) {
+        a[i] = i * 1.0;
+        total = total + a[i];
+    }
+    print("total", total);
+}
+"""
+
+
+@pytest.fixture
+def demo(tmp_path):
+    f = tmp_path / "demo.c"
+    f.write_text(DEMO)
+    return str(f)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    rc = main(argv, out=out)
+    return rc, out.getvalue()
+
+
+def test_run_functional(demo):
+    rc, out = run_cli(["run", demo, "--mode", "functional"])
+    assert rc == 0
+    assert "total 2016.0" in out
+
+
+@pytest.mark.parametrize("mode", ["single", "double", "slipstream"])
+def test_run_simulated_modes(demo, mode):
+    rc, out = run_cli(["run", demo, "--mode", mode, "--cmps", "4"])
+    assert rc == 0
+    assert "total 2016.0" in out
+    assert "cycles on 4 CMPs" in out
+
+
+def test_run_with_slipstream_policy_and_stats(demo):
+    rc, out = run_cli(["run", demo, "--mode", "slipstream", "--cmps", "4",
+                       "--slipstream", "LOCAL_SYNC,1", "--stats"])
+    assert rc == 0
+    assert "fills:" in out
+    assert "busy" in out
+
+
+def test_run_with_schedule(demo, tmp_path):
+    f = tmp_path / "sched.c"
+    f.write_text(DEMO.replace("parallel for",
+                              "parallel for schedule(runtime)"))
+    rc, out = run_cli(["run", str(f), "--mode", "single", "--cmps", "4",
+                       "--schedule", "dynamic,8"])
+    assert rc == 0
+    assert "total 2016.0" in out
+
+
+def test_compile_reports_image(demo):
+    rc, out = run_cli(["compile", demo])
+    assert rc == 0
+    assert "1 outlined regions" in out
+    assert "instructions" in out
+
+
+def test_compile_disasm(demo):
+    rc, out = run_cli(["compile", demo, "--disasm"])
+    assert rc == 0
+    assert "parallel_begin" in out
+    assert "sched_init" in out
+
+
+def test_check_classification(demo):
+    rc, out = run_cli(["check", demo])
+    assert rc == 0
+    assert "shared refs : ['a']" in out
+    assert "reduction   : +: ['total']" in out
+
+
+def test_bench_subcommand():
+    rc, out = run_cli(["bench", "cg", "--size", "test", "--cmps", "4"])
+    assert rc == 0
+    assert "CG" in out and "G0" in out and "L1" in out
+
+
+def test_bench_unknown_name():
+    rc, _ = run_cli(["bench", "nosuch", "--size", "test"])
+    assert rc == 2
+
+
+def test_compile_error_reported(tmp_path):
+    f = tmp_path / "bad.c"
+    f.write_text("void main() { x = 1; }")
+    rc, _ = run_cli(["run", str(f)])
+    assert rc == 1
+
+
+def test_missing_file():
+    rc, _ = run_cli(["run", "/nonexistent/prog.c"])
+    assert rc == 2
+
+
+def test_inputs_flag(tmp_path):
+    f = tmp_path / "io.c"
+    f.write_text("""
+double x;
+void main() { x = read_input(); print("x", x * 2.0); }
+""")
+    rc, out = run_cli(["run", str(f), "--mode", "single", "--cmps", "4",
+                       "--inputs", "21"])
+    assert rc == 0
+    assert "x 42.0" in out

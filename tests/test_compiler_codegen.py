@@ -1,0 +1,231 @@
+"""Compiler back-end tests: lowering shapes, sites, disassembly, and
+the mode-independence of the compiled image."""
+
+import pytest
+
+from repro.compiler import RT_RETURNS, compile_source, disassemble
+from repro.lang.errors import SemanticError
+
+
+def rt_calls(code):
+    return [ins[1][0] for ins in code.instrs if ins[0] == "rt"]
+
+
+def test_parallel_region_outlined():
+    img = compile_source("""
+double a[8];
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i < 8; i = i + 1) a[i] = i;
+}
+""")
+    regions = [f for f in img.funcs if f.is_region]
+    assert len(regions) == 1
+    assert regions[0].name.startswith("main._region")
+    main = img.funcs[img.main_index]
+    assert rt_calls(main) == ["parallel_begin", "parallel_end"]
+    assert rt_calls(regions[0]) == ["sched_init", "sched_next", "barrier"]
+
+
+def test_captured_locals_become_region_params():
+    img = compile_source("""
+double a[8];
+int i;
+void main() {
+    int n;
+    double w;
+    n = 8; w = 2.0;
+    #pragma omp parallel for
+    for (i = 0; i < n; i = i + 1) a[i] = i * w;
+}
+""")
+    region = next(f for f in img.funcs if f.is_region)
+    assert region.params == ["n", "w"]          # sorted, deterministic
+
+
+def test_nowait_suppresses_barrier():
+    img = compile_source("""
+double a[8];
+int i;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 8; i = i + 1) a[i] = i;
+    }
+}
+""")
+    region = next(f for f in img.funcs if f.is_region)
+    assert "barrier" not in rt_calls(region)
+
+
+def test_reduction_lowering_emits_reduce():
+    img = compile_source("""
+double s;
+int i;
+void main() {
+    #pragma omp parallel for reduction(+: s)
+    for (i = 0; i < 8; i = i + 1) s = s + i;
+}
+""")
+    region = next(f for f in img.funcs if f.is_region)
+    calls = rt_calls(region)
+    assert "reduce" in calls
+    # combine happens before the closing barrier
+    assert calls.index("reduce") < calls.index("barrier")
+
+
+def test_sites_are_unique_and_labelled():
+    img = compile_source("""
+double a[8];
+int i;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp for schedule(dynamic, 2)
+        for (i = 0; i < 8; i = i + 1) a[i] = i;
+        #pragma omp barrier
+        #pragma omp single
+        { a[0] = 1.0; }
+    }
+}
+""")
+    labels = list(img.sites.values())
+    assert len(set(img.sites)) == len(img.sites)
+    assert any(l.startswith("for@") and "dynamic" in l for l in labels)
+    assert any(l.startswith("barrier@") for l in labels)
+    assert any(l.startswith("single@") for l in labels)
+
+
+def test_critical_names_share_ids():
+    img = compile_source("""
+double x;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp critical(alpha)
+        { x = 1.0; }
+        #pragma omp critical(alpha)
+        { x = 2.0; }
+        #pragma omp critical(beta)
+        { x = 3.0; }
+    }
+}
+""")
+    region = next(f for f in img.funcs if f.is_region)
+    cids = [ins[1][1][0] for ins in region.instrs
+            if ins[0] == "rt" and ins[1][0] == "crit_enter"]
+    assert cids[0] == cids[1] != cids[2]
+
+
+def test_flush_emits_nothing():
+    img = compile_source("""
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp flush
+    }
+}
+""")
+    region = next(f for f in img.funcs if f.is_region)
+    assert "flush" not in rt_calls(region)
+
+
+def test_rt_returns_consistent_with_lowering():
+    """Every rt call that the shell pushes a result for must be consumed
+    by the following instruction (no stack leaks)."""
+    img = compile_source("""
+double a[8];
+double s;
+int i;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp for schedule(dynamic) reduction(+: s)
+        for (i = 0; i < 8; i = i + 1) s = s + a[i];
+        #pragma omp single
+        { s = s * 2.0; }
+        #pragma omp master
+        { s = s + 1.0; }
+    }
+}
+""")
+    for code in img.funcs:
+        for k, ins in enumerate(code.instrs):
+            if ins[0] == "rt" and ins[1][0] in RT_RETURNS:
+                nxt = code.instrs[k + 1][0]
+                assert nxt in ("jnone", "jfalse", "lstore", "pop",
+                               "unpack2", "gstore", "binop"), \
+                    (code.name, k, ins, nxt)
+
+
+def test_disassemble_output():
+    img = compile_source("double x;\nvoid main() { x = 1.0 + 2.0; }")
+    text = disassemble(img.funcs[img.main_index])
+    assert "main" in text
+    assert "gstore" in text
+
+
+def test_same_binary_no_mode_dependence():
+    """The image contains no mode-conditional instructions: compiling
+    twice yields identical bytecode (determinism), and nothing in the
+    instruction stream names a mode."""
+    src = """
+double a[16];
+int i;
+void main() {
+    #pragma omp slipstream(RUNTIME_SYNC)
+    #pragma omp parallel for
+    for (i = 0; i < 16; i = i + 1) a[i] = i;
+}
+"""
+    img1 = compile_source(src)
+    img2 = compile_source(src)
+    for f1, f2 in zip(img1.funcs, img2.funcs):
+        assert f1.instrs == f2.instrs
+
+
+def test_whole_array_assignment_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("double a[4];\nvoid main() { a = 1.0; }")
+
+
+def test_wrong_index_arity_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("double a[4][4];\nvoid main() { a[1] = 1.0; }")
+
+
+def test_scalar_indexed_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("double x;\nvoid main() { x[0] = 1.0; }")
+
+
+def test_break_in_omp_for_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("""
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i < 8; i = i + 1) { break; }
+}
+""")
+
+
+def test_malformed_omp_loop_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("""
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i != 8; i = i + 1) { }
+}
+""")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemanticError):
+        compile_source("""
+int f(int a, int b) { return a + b; }
+void main() { int x; x = f(1); }
+""")

@@ -1,0 +1,382 @@
+"""End-to-end compiler + VM tests via the functional reference runner.
+
+These exercise the whole front end, lowering, and bytecode VM without
+the timing machine: compile SlipC source, run it single-threaded, check
+the computed values and output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.interp import FunctionalRunner
+from repro.lang.errors import SemanticError
+
+
+def run(src, inputs=None):
+    return FunctionalRunner(compile_source(src), inputs=inputs).run()
+
+
+def test_arithmetic_and_globals():
+    r = run("""
+double x;
+int n;
+void main() {
+    n = 7;
+    x = (1.5 + 2.5) * n - 3.0 / 2.0;
+}
+""")
+    assert r.store.value("n") == 7
+    assert r.store.value("x") == pytest.approx(4.0 * 7 - 1.5)
+
+
+def test_integer_division_truncates_like_c():
+    r = run("""
+int a, b, c, d;
+void main() {
+    a = 7 / 2;
+    b = -7 / 2;
+    c = 7 % 3;
+    d = -7 % 3;
+}
+""")
+    assert r.store.value("a") == 3
+    assert r.store.value("b") == -3     # C truncation, not Python floor
+    assert r.store.value("c") == 1
+    assert r.store.value("d") == -1
+
+
+def test_control_flow_if_while_for():
+    r = run("""
+int fib;
+void main() {
+    int a, b, t, i;
+    a = 0; b = 1;
+    for (i = 0; i < 10; i = i + 1) {
+        t = a + b; a = b; b = t;
+    }
+    fib = a;
+}
+""")
+    assert r.store.value("fib") == 55
+
+
+def test_break_continue():
+    r = run("""
+int s;
+void main() {
+    int i;
+    s = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        s = s + i;
+    }
+}
+""")
+    assert r.store.value("s") == 1 + 3 + 5 + 7 + 9
+
+
+def test_short_circuit_evaluation():
+    # a[10] would fault if the && rhs were evaluated.
+    r = run("""
+double a[10];
+int ok;
+void main() {
+    int i;
+    i = 10;
+    ok = 1;
+    if (i < 10 && a[i] > 0.0) ok = 0;
+}
+""")
+    assert r.store.value("ok") == 1
+
+
+def test_global_arrays_multidim():
+    r = run("""
+double m[4][8];
+double s;
+void main() {
+    int i, j;
+    for (i = 0; i < 4; i = i + 1)
+        for (j = 0; j < 8; j = j + 1)
+            m[i][j] = i * 10 + j;
+    s = m[3][7] + m[1][2];
+}
+""")
+    assert r.store.value("s") == 37 + 12
+    assert r.store.array("m")[2, 5] == 25
+
+
+def test_private_local_arrays():
+    r = run("""
+double out;
+void main() {
+    double buf[16];
+    int i;
+    for (i = 0; i < 16; i = i + 1) buf[i] = i * i;
+    out = buf[5];
+}
+""")
+    assert r.store.value("out") == 25.0
+
+
+def test_functions_and_recursion():
+    r = run("""
+int result;
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+void main() { result = fact(6); }
+""")
+    assert r.store.value("result") == 720
+
+
+def test_intrinsics():
+    r = run("""
+double a, b, c, d;
+void main() {
+    a = sqrt(16.0);
+    b = fabs(-2.5);
+    c = max(3, 9);
+    d = pow(2.0, 10.0);
+}
+""")
+    assert r.store.value("a") == 4.0
+    assert r.store.value("b") == 2.5
+    assert r.store.value("c") == 9
+    assert r.store.value("d") == 1024.0
+
+
+def test_global_scalar_initializers():
+    r = run("""
+int n = 5;
+double eps = 1.0e-6;
+double neg = -2.5;
+void main() { }
+""")
+    assert r.store.value("n") == 5
+    assert r.store.value("eps") == pytest.approx(1e-6)
+    assert r.store.value("neg") == -2.5
+
+
+def test_print_output_collected():
+    r = run("""
+void main() {
+    print("answer", 6 * 7);
+}
+""")
+    assert r.output == [("answer", 42)]
+
+
+def test_read_input():
+    r = run("""
+double x;
+void main() { x = read_input() * 2.0; }
+""", inputs=[21.0])
+    assert r.store.value("x") == 42.0
+
+
+def test_parallel_for_static_functional():
+    r = run("""
+double a[64];
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i < 64; i = i + 1) a[i] = i * 2.0;
+}
+""")
+    assert np.array_equal(r.store.array("a"), np.arange(64) * 2.0)
+
+
+def test_parallel_reduction_functional():
+    r = run("""
+double total;
+int i;
+void main() {
+    total = 0.0;
+    #pragma omp parallel for reduction(+: total)
+    for (i = 1; i <= 100; i = i + 1) total = total + i;
+}
+""")
+    assert r.store.value("total") == 5050.0
+
+
+def test_omp_for_descending_loop():
+    r = run("""
+double a[10];
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 9; i >= 0; i = i - 1) a[i] = i;
+}
+""")
+    assert np.array_equal(r.store.array("a"), np.arange(10.0))
+
+
+def test_omp_for_strided_loop():
+    r = run("""
+double a[20];
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i < 20; i = i + 3) a[i] = 1.0;
+}
+""")
+    expect = np.zeros(20)
+    expect[::3] = 1.0
+    assert np.array_equal(r.store.array("a"), expect)
+
+
+def test_single_master_critical_atomic_functional():
+    r = run("""
+double acc;
+int singles;
+void main() {
+    acc = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        { singles = singles + 1; }
+        #pragma omp master
+        { acc = acc + 1.0; }
+        #pragma omp critical
+        { acc = acc + 10.0; }
+        #pragma omp atomic
+        acc = acc + 100.0;
+    }
+}
+""")
+    assert r.store.value("singles") == 1
+    assert r.store.value("acc") == 111.0
+
+
+def test_sections_each_executed_once():
+    r = run("""
+double a, b;
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            { a = 1.0; }
+            #pragma omp section
+            { b = 2.0; }
+        }
+    }
+}
+""")
+    assert (r.store.value("a"), r.store.value("b")) == (1.0, 2.0)
+
+
+def test_captured_locals_passed_by_value():
+    r = run("""
+double a[32];
+int i;
+void main() {
+    int n;
+    double scale;
+    n = 32; scale = 0.5;
+    #pragma omp parallel for
+    for (i = 0; i < n; i = i + 1) a[i] = i * scale;
+}
+""")
+    assert r.store.array("a")[31] == pytest.approx(15.5)
+
+
+def test_write_to_captured_local_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("""
+void main() {
+    int n;
+    n = 4;
+    #pragma omp parallel
+    { n = 5; }
+}
+""")
+
+
+def test_capture_of_local_array_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("""
+int i;
+void main() {
+    double buf[8];
+    #pragma omp parallel for
+    for (i = 0; i < 8; i = i + 1) buf[i] = 1.0;
+}
+""")
+
+
+def test_nested_parallel_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("""
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp parallel
+        { }
+    }
+}
+""")
+
+
+def test_reduction_target_must_be_shared_scalar():
+    with pytest.raises(SemanticError):
+        compile_source("""
+double a[4];
+int i;
+void main() {
+    #pragma omp parallel for reduction(+: a)
+    for (i = 0; i < 4; i = i + 1) { }
+}
+""")
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("void main() { x = 1; }")
+
+
+def test_slipstream_statement_compiles_and_runs():
+    r = run("""
+void main() {
+    #pragma omp slipstream(GLOBAL_SYNC, 1)
+    #pragma omp parallel
+    { }
+}
+""")
+    assert r is not None
+
+
+def test_firstprivate_copies_value():
+    r = run("""
+double g;
+double out[4];
+int i;
+void main() {
+    g = 3.0;
+    #pragma omp parallel for firstprivate(g)
+    for (i = 0; i < 4; i = i + 1) out[i] = g + i;
+}
+""")
+    assert np.array_equal(r.store.array("out"), np.array([3.0, 4, 5, 6]))
+
+
+def test_reduction_max():
+    r = run("""
+double peak;
+double a[50];
+int i;
+void main() {
+    for (i = 0; i < 50; i = i + 1) a[i] = fabs(25.0 - i);
+    peak = -1.0e300;
+    #pragma omp parallel for reduction(max: peak)
+    for (i = 0; i < 50; i = i + 1) {
+        if (a[i] > peak) peak = a[i];
+    }
+}
+""")
+    assert r.store.value("peak") == 25.0

@@ -1,0 +1,213 @@
+"""VM-level tests: snapshot/restore, fast-path hooks, time slicing,
+frames, and event surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_source
+from repro.interp import VM, Done, IoOut, MemRead, MemWrite, RtCall
+from repro.interp.events import TimeSlice
+from repro.interp.interpreter import MISS, VMError
+
+
+def image(src):
+    return compile_source(src)
+
+
+def drain(vm, reads=None):
+    """Run a VM to completion, servicing memory ops from a dict."""
+    mem = reads or {}
+    out = []
+    while True:
+        ev = vm.run()
+        if isinstance(ev, Done):
+            return out, ev.value
+        if isinstance(ev, MemRead):
+            vm.push(mem.get((ev.gidx, ev.flat), 0.0))
+        elif isinstance(ev, MemWrite):
+            mem[(ev.gidx, ev.flat)] = ev.value
+            out.append(("w", ev.gidx, ev.flat, ev.value))
+        elif isinstance(ev, IoOut):
+            out.append(("io", ev.values))
+        elif isinstance(ev, TimeSlice):
+            continue
+        else:
+            raise AssertionError(f"unexpected event {ev}")
+
+
+def test_vm_runs_pure_computation():
+    img = image("""
+double out;
+void main() {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 1; i <= 10; i = i + 1) s = s + i;
+    out = s;
+}
+""")
+    vm = VM(img, img.main_index)
+    writes, rv = drain(vm)
+    assert writes == [("w", 0, 0, 55.0)]
+    assert vm.take_cycles() > 0              # busy cycles were charged
+    assert rv == 0
+
+
+def test_vm_cycles_accumulate_and_drain():
+    img = image("void main() { int i; for (i=0;i<100;i=i+1) { } }")
+    vm = VM(img, img.main_index)
+    ev = vm.run()
+    assert isinstance(ev, Done)
+    assert vm.take_cycles() > 100            # loop instructions charged
+    assert vm.take_cycles() == 0.0
+
+
+def test_snapshot_restore_replays_exactly():
+    img = image("""
+double trace[8];
+void main() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) trace[i] = i * 3.0;
+}
+""")
+    vm = VM(img, img.main_index)
+    mem = {}
+    # Run up to the 4th store, snapshot, finish, then restore & refinish.
+    stores = 0
+    snap = None
+    while True:
+        ev = vm.run()
+        if isinstance(ev, MemWrite):
+            stores += 1
+            mem[(ev.gidx, ev.flat)] = ev.value
+            if stores == 4 and snap is None:
+                snap = vm.snapshot()
+        elif isinstance(ev, MemRead):
+            vm.push(mem.get((ev.gidx, ev.flat), 0.0))
+        elif isinstance(ev, Done):
+            break
+    first = dict(mem)
+    vm.restore(snap)
+    mem2 = {}
+    while True:
+        ev = vm.run()
+        if isinstance(ev, MemWrite):
+            mem2[(ev.gidx, ev.flat)] = ev.value
+        elif isinstance(ev, MemRead):
+            vm.push(mem2.get((ev.gidx, ev.flat), 0.0))
+        elif isinstance(ev, Done):
+            break
+    # Replay covers the remaining stores (indices 4..7) identically.
+    for k in mem2:
+        assert first[k] == mem2[k]
+    assert len(mem2) == 4
+
+
+def test_snapshot_copies_private_arrays():
+    img = image("""
+double out;
+void main() {
+    double buf[4];
+    int i;
+    buf[0] = 1.0;
+    out = buf[0];
+}
+""")
+    vm = VM(img, img.main_index)
+    vm.run()                                  # up to the gstore
+    snap = vm.snapshot()
+    live = vm.frames[0].locals
+    arrays = [v for v in live if isinstance(v, np.ndarray)]
+    snap_arrays = [v for f in snap for v in f.locals
+                   if isinstance(v, np.ndarray)]
+    assert arrays and snap_arrays
+    assert arrays[0] is not snap_arrays[0]    # deep copy
+
+
+def test_fast_read_hook_and_miss_sentinel():
+    img = image("""
+double g;
+double out;
+void main() { out = g + 1.0; }
+""")
+    vm = VM(img, img.main_index)
+    calls = []
+
+    def fast_read(gidx, flat):
+        calls.append((gidx, flat))
+        return 41.0 if len(calls) == 1 else MISS
+
+    vm.fast_read = fast_read
+    ev = vm.run()
+    # First read (g) was served fast; the write comes back as MemWrite.
+    assert isinstance(ev, MemWrite) and ev.value == 42.0
+    assert calls == [(0, 0)]
+
+
+def test_fast_write_hook_handles_store():
+    img = image("double g;\nvoid main() { g = 7.0; }")
+    vm = VM(img, img.main_index)
+    handled = []
+    vm.fast_write = lambda gidx, flat, v: handled.append((gidx, flat, v)) or True
+    ev = vm.run()
+    assert isinstance(ev, Done)
+    assert handled == [(0, 0, 7.0)]
+
+
+def test_time_slice_on_long_loops():
+    img = image("""
+void main() {
+    int i;
+    for (i = 0; i < 100000; i = i + 1) { }
+}
+""")
+    vm = VM(img, img.main_index)
+    slices = 0
+    while True:
+        ev = vm.run()
+        if isinstance(ev, TimeSlice):
+            slices += 1
+            vm.take_cycles()
+        elif isinstance(ev, Done):
+            break
+    assert slices >= 4                        # 100k iters / MAX_SLICE
+
+
+def test_rt_call_event_carries_args():
+    img = image("""
+double a[4];
+int i;
+void main() {
+    #pragma omp parallel for
+    for (i = 0; i < 4; i = i + 1) a[i] = 1.0;
+}
+""")
+    vm = VM(img, img.main_index)
+    ev = vm.run()
+    assert isinstance(ev, RtCall)
+    assert ev.name == "parallel_begin"
+    assert len(ev.args) == 2                  # if-flag + num_threads
+
+
+def test_out_of_range_pc_is_vmerror():
+    img = image("void main() { }")
+    vm = VM(img, img.main_index)
+    vm.frames[0].pc = 10_000
+    with pytest.raises(VMError):
+        vm.run()
+
+
+def test_missing_push_detected():
+    img = image("double g;\ndouble o;\nvoid main() { o = g; }")
+    vm = VM(img, img.main_index)
+    ev = vm.run()
+    assert isinstance(ev, MemRead)
+    with pytest.raises(VMError):
+        vm.run()                               # result never pushed
+
+
+def test_done_is_sticky():
+    img = image("void main() { }")
+    vm = VM(img, img.main_index)
+    assert isinstance(vm.run(), Done)
+    assert isinstance(vm.run(), Done)

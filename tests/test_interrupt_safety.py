@@ -1,0 +1,172 @@
+"""Interrupt-safety of simulation primitives: slipstream recovery can
+abort an A-stream while it is queued at a server, waiting on a
+semaphore, or mid-coherence-transaction; nothing may leak or wedge."""
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.mem import CoherentMemorySystem
+from repro.mem.address import SHARED_BASE
+from repro.sim import Engine, Interrupt, Semaphore, Server
+
+
+def test_server_interrupt_while_queued_releases_slot():
+    eng = Engine()
+    srv = Server(eng, "bus")
+    done = []
+
+    def holder():
+        yield from srv.serve(100)
+        done.append("holder")
+
+    def victim():
+        try:
+            yield 1
+            yield from srv.serve(10)
+        except Interrupt:
+            done.append("interrupted")
+
+    def third():
+        yield 2
+        yield from srv.serve(10)
+        done.append("third")
+
+    eng.process(holder())
+    v = eng.process(victim())
+
+    def killer():
+        yield 50
+        v.interrupt("test")
+
+    eng.process(third())
+    eng.process(killer())
+    eng.run()
+    # The victim withdrew from the queue; the third client still got
+    # served right after the holder finished.
+    assert "interrupted" in done
+    assert "third" in done
+    assert srv.queue_length == 0
+    assert srv._busy == 0
+
+
+def test_server_interrupt_during_service_releases_unit():
+    eng = Engine()
+    srv = Server(eng, "mc")
+    done = []
+
+    def victim():
+        try:
+            yield from srv.serve(100)
+        except Interrupt:
+            done.append("interrupted")
+
+    def follower():
+        yield 1
+        yield from srv.serve(5)
+        done.append("follower")
+
+    v = eng.process(victim())
+    eng.process(follower())
+
+    def killer():
+        yield 10
+        v.interrupt()
+
+    eng.process(killer())
+    eng.run()
+    assert done == ["interrupted", "follower"]
+    assert srv._busy == 0
+
+
+def test_semaphore_interrupt_while_waiting_cleans_queue():
+    eng = Engine()
+    sem = Semaphore(eng, "tok", initial=0)
+    got = []
+
+    def victim():
+        try:
+            yield from sem.acquire()
+            got.append("victim")
+        except Interrupt:
+            got.append("interrupted")
+
+    v = eng.process(victim())
+
+    def killer():
+        yield 5
+        v.interrupt()
+        yield 5
+        sem.release()        # nobody waiting anymore
+
+    eng.process(killer())
+    eng.run()
+    assert got == ["interrupted"]
+    assert sem.waiting == 0
+    assert sem.count == 1    # the released token is still available
+
+
+def test_memsys_transaction_interrupt_releases_mshr_and_lock():
+    cfg = PAPER_MACHINE.with_(n_cmps=4, placement="round_robin")
+    eng = Engine()
+    ms = CoherentMemorySystem(eng, cfg)
+    addr = SHARED_BASE + cfg.page_bytes          # remote: long window
+    outcome = []
+
+    def victim():
+        try:
+            yield from ms.load(0, 1, addr, stream="A")
+            outcome.append("loaded")
+        except Interrupt:
+            outcome.append("interrupted")
+
+    v = eng.process(victim())
+
+    def killer():
+        yield 50                                  # mid-transaction
+        v.interrupt()
+
+    eng.process(killer())
+    eng.run()
+    assert outcome == ["interrupted"]
+    # MSHR cleaned up, directory line lock free:
+    assert not ms.nodes[0].mshrs
+    la = ms.line_addr(addr)
+    assert ms.directory.lock(la).count == 1
+
+    # And the line is still usable: a later load completes normally.
+    res = eng.run_process(ms.load(0, 0, addr, stream="R"))
+    assert res.level in ("remote", "l2")
+
+
+def test_memsys_merged_waiter_survives_primary_interrupt():
+    """If the primary miss is aborted, a merged secondary requester is
+    woken and retries its own transaction."""
+    cfg = PAPER_MACHINE.with_(n_cmps=4, placement="round_robin")
+    eng = Engine()
+    ms = CoherentMemorySystem(eng, cfg)
+    addr = SHARED_BASE + cfg.page_bytes
+    outcome = []
+
+    def primary():
+        try:
+            yield from ms.load(0, 1, addr, stream="A")
+        except Interrupt:
+            outcome.append("primary-aborted")
+
+    def secondary():
+        yield 10                                  # merge onto the miss
+        res = yield from ms.load(0, 0, addr, stream="R")
+        outcome.append(("secondary", res.level))
+
+    p = eng.process(primary())
+
+    def killer():
+        yield 60
+        p.interrupt()
+
+    eng.process(secondary())
+    eng.process(killer())
+    eng.run()
+    assert "primary-aborted" in outcome
+    kinds = [o for o in outcome if isinstance(o, tuple)]
+    assert kinds and kinds[0][1] in ("remote", "l2")

@@ -1,0 +1,82 @@
+"""Tests for the SlipC tokenizer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]  # drop eof
+
+
+def test_simple_tokens():
+    assert kinds("int x = 42;") == [
+        ("kw", "int"), ("id", "x"), ("op", "="), ("num", "42"), ("op", ";")]
+
+
+def test_float_literals():
+    toks = kinds("1.5 2e3 1.5e-4 .25")
+    assert [t for _, t in toks] == ["1.5", "2e3", "1.5e-4", ".25"]
+    assert all(k == "num" for k, _ in toks)
+
+
+def test_two_char_operators():
+    assert [t for _, t in kinds("a <= b == c && d || !e != f >= g")] == [
+        "a", "<=", "b", "==", "c", "&&", "d", "||", "!", "e", "!=", "f",
+        ">=", "g"]
+
+
+def test_compound_assign_ops():
+    assert [t for _, t in kinds("x += 1; y *= 2;")] == [
+        "x", "+=", "1", ";", "y", "*=", "2", ";"]
+
+
+def test_comments_stripped():
+    src = "int a; // line comment\n/* block\ncomment */ int b;"
+    assert kinds(src) == [("kw", "int"), ("id", "a"), ("op", ";"),
+                          ("kw", "int"), ("id", "b"), ("op", ";")]
+
+
+def test_pragma_token_captured_whole_line():
+    toks = tokenize("#pragma omp parallel for schedule(static)\nint x;")
+    assert toks[0].kind == "pragma"
+    assert toks[0].text == "#pragma omp parallel for schedule(static)"
+    assert toks[1].text == "int"
+
+
+def test_pragma_line_continuation():
+    toks = tokenize("#pragma omp parallel \\\n  private(i)\nint x;")
+    assert toks[0].kind == "pragma"
+    assert "private(i)" in toks[0].text
+    assert toks[1].text == "int"
+
+
+def test_string_literal():
+    toks = tokenize('print("result", x);')
+    assert ("str", "result") == (toks[2].kind, toks[2].text)
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("int a;\n\nint b;")
+    assert toks[0].line == 1
+    assert toks[3].line == 3
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('print("oops')
+
+
+def test_unexpected_char_raises():
+    with pytest.raises(LexError):
+        tokenize("int a @ b;")
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("for forx")
+    assert toks == [("kw", "for"), ("id", "forx")]

@@ -1,0 +1,206 @@
+"""Tests for the SlipC parser and pragma handling."""
+
+import pytest
+
+from repro.lang import ParseError, parse, parse_expression
+from repro.lang import ast as A
+
+
+def parse_main(body):
+    return parse("void main() {\n%s\n}" % body)
+
+
+def main_stmts(body):
+    prog = parse_main(body)
+    return prog.funcs[0].body.stmts
+
+
+def test_globals_and_function():
+    prog = parse("double a[8][4];\nint n = 5;\nvoid main() { n = 6; }")
+    assert [g.name for g in prog.globals] == ["a", "n"]
+    assert prog.globals[0].dims == (8, 4)
+    assert isinstance(prog.globals[1].init, A.Num)
+    assert prog.funcs[0].name == "main"
+
+
+def test_comma_declarations():
+    prog = parse("int i, j, k;\nvoid main() {}")
+    assert [g.name for g in prog.globals] == ["i", "j", "k"]
+
+
+def test_float_normalized_to_double():
+    prog = parse("float x;\nvoid main() { float y; }")
+    assert prog.globals[0].typ == "double"
+    assert prog.funcs[0].body.stmts[0].typ == "double"
+
+
+def test_expression_precedence():
+    e = parse_expression("1 + 2 * 3 - 4 / 2")
+    # ((1 + (2*3)) - (4/2))
+    assert isinstance(e, A.BinOp) and e.op == "-"
+    assert e.lhs.op == "+" and e.lhs.rhs.op == "*"
+    assert e.rhs.op == "/"
+
+
+def test_logical_precedence():
+    e = parse_expression("a < b && c || d")
+    assert e.op == "||"
+    assert e.lhs.op == "&&"
+    assert e.lhs.lhs.op == "<"
+
+
+def test_unary_and_parens():
+    e = parse_expression("-(a + b) * !c")
+    assert e.op == "*"
+    assert isinstance(e.lhs, A.UnOp) and e.lhs.op == "-"
+    assert isinstance(e.rhs, A.UnOp) and e.rhs.op == "!"
+
+
+def test_multidim_index():
+    e = parse_expression("a[i][j+1]")
+    assert isinstance(e, A.Index)
+    assert e.name == "a" and len(e.indices) == 2
+
+
+def test_compound_assignment_desugars():
+    (stmt,) = main_stmts("int x; x += 3;")[1:]
+    assert isinstance(stmt, A.Assign)
+    assert isinstance(stmt.value, A.BinOp) and stmt.value.op == "+"
+
+
+def test_for_loop_parts():
+    (stmt,) = main_stmts("int i; for (i = 0; i < 10; i = i + 1) { }")[1:]
+    assert isinstance(stmt, A.For)
+    assert isinstance(stmt.init, A.Assign)
+    assert stmt.cond.op == "<"
+
+
+def test_if_else_chain():
+    (stmt,) = main_stmts("int x; if (x < 1) x = 1; else if (x < 2) x = 2; "
+                         "else x = 3;")[1:]
+    assert isinstance(stmt, A.If)
+    assert isinstance(stmt.orelse, A.If)
+
+
+def test_parallel_region_with_clauses():
+    (stmt,) = main_stmts(
+        "#pragma omp parallel private(i, j) reduction(+: s)\n{ }")
+    assert isinstance(stmt, A.OmpParallel)
+    assert stmt.private == ["i", "j"]
+    assert stmt.reductions[0].op == "+"
+    assert stmt.reductions[0].names == ["s"]
+
+
+def test_parallel_for_combined():
+    (stmt,) = main_stmts(
+        "int i;\n#pragma omp parallel for schedule(dynamic, 4)\n"
+        "for (i = 0; i < 8; i = i + 1) { }")[1:]
+    assert isinstance(stmt, A.OmpParallel)
+    assert isinstance(stmt.body, A.OmpFor)
+    assert stmt.body.schedule.kind == "dynamic"
+    assert stmt.body.schedule.chunk == 4
+
+
+def test_omp_for_requires_loop():
+    with pytest.raises(ParseError):
+        parse_main("#pragma omp parallel\n{\n#pragma omp for\nint x;\n}")
+
+
+def test_single_master_critical_atomic():
+    stmts = main_stmts("""
+#pragma omp parallel
+{
+#pragma omp single nowait
+{ }
+#pragma omp master
+{ }
+#pragma omp critical(mylock)
+{ }
+#pragma omp atomic
+g = g + 1;
+}
+""")
+    region = stmts[0]
+    inner = region.body.stmts
+    assert isinstance(inner[0], A.OmpSingle) and inner[0].nowait
+    assert isinstance(inner[1], A.OmpMaster)
+    assert isinstance(inner[2], A.OmpCritical)
+    assert inner[2].name == "mylock"
+    assert isinstance(inner[3], A.OmpAtomic)
+
+
+def test_barrier_and_flush():
+    stmts = main_stmts(
+        "#pragma omp parallel\n{\n#pragma omp barrier\n"
+        "#pragma omp flush(a, b)\n}")
+    inner = stmts[0].body.stmts
+    assert isinstance(inner[0], A.OmpBarrier)
+    assert isinstance(inner[1], A.OmpFlush)
+    assert inner[1].names == ["a", "b"]
+
+
+def test_sections_parse():
+    stmts = main_stmts("""
+#pragma omp parallel
+{
+#pragma omp sections
+{
+#pragma omp section
+{ }
+#pragma omp section
+{ }
+}
+}
+""")
+    secs = stmts[0].body.stmts[0]
+    assert isinstance(secs, A.OmpSections)
+    assert len(secs.sections) == 2
+
+
+def test_slipstream_directive_statement():
+    stmts = main_stmts("#pragma omp slipstream(LOCAL_SYNC, 2)\n")
+    assert isinstance(stmts[0], A.OmpSlipstream)
+    assert stmts[0].sync_type == "LOCAL_SYNC"
+    assert stmts[0].tokens == 2
+
+
+def test_slipstream_with_if_clause():
+    stmts = main_stmts(
+        "int ncmp;\n#pragma omp slipstream(GLOBAL_SYNC, 1) if(ncmp > 8)\n")
+    slip = stmts[1]
+    assert isinstance(slip, A.OmpSlipstream)
+    assert slip.if_expr is not None and slip.if_expr.op == ">"
+
+
+def test_file_scope_slipstream_prepended_to_main():
+    prog = parse("#pragma omp slipstream(GLOBAL_SYNC)\nvoid main() { }")
+    assert isinstance(prog.funcs[0].body.stmts[0], A.OmpSlipstream)
+
+
+def test_bad_slipstream_type_rejected():
+    with pytest.raises(ParseError):
+        parse_main("#pragma omp slipstream(SOMETIMES)\n")
+
+
+def test_non_omp_pragma_ignored():
+    prog = parse("#pragma once\nvoid main() { }")
+    assert prog.funcs[0].name == "main"
+
+
+def test_runtime_schedule():
+    (stmt,) = main_stmts(
+        "int i;\n#pragma omp parallel for schedule(runtime)\n"
+        "for (i = 0; i < 8; i = i + 1) { }")[1:]
+    assert stmt.body.schedule.kind == "runtime"
+
+
+def test_print_statement():
+    (stmt,) = main_stmts('print("x=", 3 + 4);')
+    assert isinstance(stmt, A.Print)
+    assert len(stmt.args) == 2
+
+
+def test_parse_error_has_line():
+    with pytest.raises(ParseError) as ei:
+        parse("void main() {\n int x\n}")
+    assert ei.value.line >= 2

@@ -1,0 +1,147 @@
+"""Machine-level internals: address layout, runtime words, mode
+validation, result collection, and teardown behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.config import PAPER_MACHINE
+from repro.mem.address import SHARED_LIMIT, is_shared_addr
+from repro.runtime import Machine, RuntimeEnv
+from repro.runtime.machine import RT_WORD_BASE, run_program
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+TINY = compile_source("""
+double a[32];
+double s;
+int i;
+void main() {
+    #pragma omp parallel for reduction(+: s)
+    for (i = 0; i < 32; i = i + 1) {
+        a[i] = i;
+        s = s + i;
+    }
+}
+""")
+
+
+def test_globals_allocated_line_aligned_in_shared_space():
+    m = Machine(TINY, cfg=CFG)
+    assert len(m.gbase) == len(TINY.globals)
+    for base in m.gbase:
+        assert is_shared_addr(base)
+        assert base % CFG.line_bytes == 0
+        assert base < RT_WORD_BASE
+
+
+def test_rt_words_live_above_noclass_base():
+    m = Machine(TINY, cfg=CFG)
+    w1 = m.rt_word("x")
+    w2 = m.rt_word("y")
+    assert RT_WORD_BASE <= w1.addr < SHARED_LIMIT
+    assert w2.addr - w1.addr >= CFG.line_bytes     # own line each
+    assert m.memsys.noclass_base == RT_WORD_BASE
+
+
+def test_gaddr_is_base_plus_8_per_element():
+    m = Machine(TINY, cfg=CFG)
+    g = TINY.global_named("a").index
+    assert m.gaddr(g, 5) - m.gaddr(g, 0) == 40
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        Machine(TINY, cfg=CFG, mode="triple")
+
+
+def test_slipstream_needs_two_cpus_per_cmp():
+    uni = CFG.with_(cpus_per_cmp=1)
+    with pytest.raises(ValueError):
+        Machine(TINY, cfg=uni, mode="slipstream")
+    # single mode is fine on a uniprocessor-per-node machine
+    r = Machine(TINY, cfg=uni, mode="single").run()
+    assert r.store.value("s") == 496.0
+
+
+def test_topology_single_mode():
+    m = Machine(TINY, cfg=CFG, mode="single")
+    assert len(m.shells) == 4
+    assert all(s.cpu == 0 and s.role == "R" for s in m.shells)
+    assert [s.node for s in m.shells] == [0, 1, 2, 3]
+
+
+def test_topology_slipstream_pairs():
+    m = Machine(TINY, cfg=CFG, mode="slipstream")
+    rs = [s for s in m.shells if s.role == "R"]
+    as_ = [s for s in m.shells if s.role == "A"]
+    assert len(rs) == len(as_) == 4
+    for r, a in zip(rs, as_):
+        assert r.pair is a and a.pair is r
+        assert r.node == a.node and r.cpu == 0 and a.cpu == 1
+        assert r.channel is a.channel
+        assert a.tid == r.tid       # "the same ID ... sharing a CMP"
+
+
+def test_run_result_fields():
+    r = run_program(TINY, cfg=CFG, mode="slipstream")
+    assert r.mode == "slipstream"
+    assert r.cycles > 0
+    assert r.store.value("s") == 496.0
+    assert set(r.channel_stats) == {0, 1, 2, 3}
+    assert r.mem_stats.get("loads") > 0
+    # every shell contributed a closed breakdown
+    assert len(r.breakdowns) == 8
+    for bd in r.breakdowns.values():
+        assert sum(bd.values()) == pytest.approx(r.cycles, rel=1e-6)
+
+
+def test_all_processes_dead_after_run():
+    m = Machine(TINY, cfg=CFG, mode="slipstream")
+    m.run()
+    assert all(not s.proc.alive for s in m.shells)
+
+
+def test_machine_is_single_use_deterministic():
+    r1 = run_program(TINY, cfg=CFG, mode="double")
+    r2 = run_program(TINY, cfg=CFG, mode="double")
+    assert r1.cycles == r2.cycles              # fully deterministic
+    assert np.array_equal(r1.store.array("a"), r2.store.array("a"))
+
+
+def test_max_cycles_guard():
+    img = compile_source("""
+double x;
+void main() {
+    int i;
+    for (i = 0; i < 100000000; i = i + 1) x = x + 1.0;
+}
+""")
+    with pytest.raises(RuntimeError):
+        Machine(img, cfg=CFG).run(max_cycles=10_000)
+
+
+def test_input_exhaustion_is_error():
+    img = compile_source("double x;\nvoid main() { x = read_input(); }")
+    with pytest.raises(RuntimeError):
+        Machine(img, cfg=CFG).run(inputs=[])
+
+
+def test_env_threaded_through():
+    img = compile_source("""
+double n;
+int i;
+double sink[4];
+void main() {
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { n = omp_get_num_threads(); }
+        #pragma omp for
+        for (i = 0; i < 4; i = i + 1) sink[i] = i;
+    }
+}
+""")
+    r = run_program(img, cfg=CFG, mode="single",
+                    env=RuntimeEnv(num_threads=3))
+    assert r.store.value("n") == 3.0

@@ -1,0 +1,102 @@
+"""Tests for address spaces and placement policies."""
+
+import pytest
+
+from repro.mem import (SHARED_BASE, Placement, SharedAllocator,
+                       is_shared_addr, private_base)
+from repro.mem.address import PRIVATE_BASE, PRIVATE_STRIDE, SHARED_LIMIT
+
+
+def test_shared_private_delineation():
+    # The paper's requirement: shared VA contiguous, never interleaved
+    # with private VA.
+    assert is_shared_addr(SHARED_BASE)
+    assert is_shared_addr(SHARED_LIMIT - 1)
+    assert not is_shared_addr(SHARED_LIMIT)
+    assert not is_shared_addr(private_base(0))
+    assert not is_shared_addr(0)
+
+
+def test_private_segments_disjoint():
+    for t in range(8):
+        lo, hi = private_base(t), private_base(t) + PRIVATE_STRIDE
+        lo2 = private_base(t + 1)
+        assert hi <= lo2
+        assert lo >= PRIVATE_BASE
+
+
+def test_allocator_bump_and_alignment():
+    a = SharedAllocator()
+    p1 = a.alloc(100)
+    p2 = a.alloc(100)
+    assert p1 % 128 == 0 and p2 % 128 == 0
+    assert p2 >= p1 + 100
+    assert is_shared_addr(p1) and is_shared_addr(p2)
+
+
+def test_allocator_custom_alignment():
+    a = SharedAllocator()
+    a.alloc(1)
+    p = a.alloc(8, align=4096)
+    assert p % 4096 == 0
+
+
+def test_allocator_rejects_bad_args():
+    a = SharedAllocator()
+    with pytest.raises(ValueError):
+        a.alloc(0)
+    with pytest.raises(ValueError):
+        a.alloc(8, align=3)
+
+
+def test_allocator_exhaustion():
+    a = SharedAllocator(base=SHARED_BASE, limit=SHARED_BASE + 1024)
+    a.alloc(512)
+    with pytest.raises(MemoryError):
+        a.alloc(1024)
+
+
+def test_allocator_reset():
+    a = SharedAllocator()
+    a.alloc(1000)
+    assert a.used >= 1000
+    a.reset()
+    assert a.used == 0
+
+
+def test_round_robin_placement_stripes_pages():
+    p = Placement("round_robin", n_nodes=4, page_bytes=4096)
+    homes = [p.home(SHARED_BASE + i * 4096) for i in range(8)]
+    assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_round_robin_same_page_same_home():
+    p = Placement("round_robin", n_nodes=4)
+    assert p.home(SHARED_BASE + 100) == p.home(SHARED_BASE + 4000)
+
+
+def test_first_touch_placement_sticks():
+    p = Placement("first_touch", n_nodes=8)
+    addr = SHARED_BASE + 5 * 4096
+    assert p.home(addr, toucher=3) == 3
+    # Later touches by other nodes don't move the page.
+    assert p.home(addr, toucher=6) == 3
+    assert p.home(addr) == 3
+    assert p.touched_pages() == 1
+
+
+def test_first_touch_without_toucher_falls_back():
+    p = Placement("first_touch", n_nodes=4)
+    assert p.home(SHARED_BASE + 2 * 4096) == 2  # round-robin fallback
+
+
+def test_block_placement_contiguous_regions():
+    p = Placement("block", n_nodes=4)
+    lo = p.home(SHARED_BASE)
+    hi = p.home(SHARED_LIMIT - 4096)
+    assert lo == 0 and hi == 3
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Placement("hash", n_nodes=4)

@@ -1,0 +1,110 @@
+"""Tests for the set-associative LRU cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.mem import Cache, MESIState
+
+
+def tiny_cache(assoc=2, sets=4, line=128, on_evict=None):
+    cfg = CacheConfig(size_bytes=assoc * sets * line, assoc=assoc,
+                      line_bytes=line, hit_cycles=1)
+    return Cache(cfg, name="tiny", on_evict=on_evict)
+
+
+def test_line_addr_masks_offset():
+    c = tiny_cache()
+    assert c.line_addr(0x1000) == 0x1000
+    assert c.line_addr(0x107f) == 0x1000
+    assert c.line_addr(0x1080) == 0x1080
+
+
+def test_miss_then_hit():
+    c = tiny_cache()
+    assert c.lookup(0x1000) is None
+    c.insert(0x1000, MESIState.SHARED)
+    line = c.lookup(0x1010)  # same line, different offset
+    assert line is not None and line.line_addr == 0x1000
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_lru_eviction_order():
+    evicted = []
+    c = tiny_cache(assoc=2, sets=1, on_evict=evicted.append)
+    c.insert(0x0000, MESIState.SHARED)
+    c.insert(0x0080, MESIState.SHARED)
+    c.lookup(0x0000)                      # touch A: B becomes LRU
+    c.insert(0x0100, MESIState.SHARED)    # evicts B
+    assert [l.line_addr for l in evicted] == [0x0080]
+    assert c.peek(0x0000) is not None
+    assert c.peek(0x0080) is None
+
+
+def test_insert_existing_upgrades_state():
+    c = tiny_cache()
+    c.insert(0x1000, MESIState.SHARED)
+    line = c.insert(0x1000, MESIState.EXCLUSIVE)
+    assert line.state == MESIState.EXCLUSIVE
+    assert c.resident_count() == 1
+
+
+def test_insert_does_not_downgrade():
+    c = tiny_cache()
+    c.insert(0x1000, MESIState.EXCLUSIVE)
+    line = c.insert(0x1000, MESIState.SHARED)
+    assert line.state == MESIState.EXCLUSIVE
+
+
+def test_invalidate_removes_line():
+    c = tiny_cache()
+    c.insert(0x1000, MESIState.SHARED)
+    line = c.invalidate(0x1040)
+    assert line is not None
+    assert c.peek(0x1000) is None
+    assert c.invalidations == 1
+    assert c.invalidate(0x1000) is None  # already gone
+
+
+def test_downgrade_clears_dirty():
+    c = tiny_cache()
+    line = c.insert(0x2000, MESIState.EXCLUSIVE)
+    line.dirty = True
+    c.downgrade(0x2000)
+    assert line.state == MESIState.SHARED and not line.dirty
+
+
+def test_sets_are_independent():
+    c = tiny_cache(assoc=1, sets=4)
+    # These map to different sets, so no eviction.
+    c.insert(0x0000, MESIState.SHARED)
+    c.insert(0x0080, MESIState.SHARED)
+    c.insert(0x0100, MESIState.SHARED)
+    assert c.resident_count() == 3
+    assert c.evictions == 0
+
+
+def test_conflict_misses_within_one_set():
+    c = tiny_cache(assoc=1, sets=4)
+    c.insert(0x0000, MESIState.SHARED)
+    c.insert(0x0200, MESIState.SHARED)  # same set (4 sets * 128B stride)
+    assert c.resident_count() == 1
+    assert c.evictions == 1
+
+
+def test_peek_has_no_side_effects():
+    c = tiny_cache()
+    c.insert(0x1000, MESIState.SHARED)
+    h, m = c.hits, c.misses
+    c.peek(0x1000)
+    c.peek(0x9999000)
+    assert (c.hits, c.misses) == (h, m)
+
+
+def test_hit_rate_and_clear():
+    c = tiny_cache()
+    c.lookup(0x1000)
+    c.insert(0x1000, MESIState.SHARED)
+    c.lookup(0x1000)
+    assert c.hit_rate() == pytest.approx(0.5)
+    c.clear()
+    assert c.resident_count() == 0

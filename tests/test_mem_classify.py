@@ -1,0 +1,101 @@
+"""Unit tests for the A/R-Timely/Late/Only classification stats."""
+
+import pytest
+
+from repro.mem import ClassStats
+from repro.mem.cache import CacheLine, MESIState
+
+
+def test_record_and_query():
+    cs = ClassStats()
+    cs.record("A", "read", "timely", 3)
+    cs.record("A", "read", "late")
+    cs.record("R", "read", "only", 6)
+    cs.record("A", "rdex", "timely", 2)
+    assert cs.total("read") == 10
+    assert cs.total("rdex") == 2
+    assert cs.fraction("A", "read", "timely") == pytest.approx(0.3)
+    assert cs.get("R", "read", "only") == 6
+
+
+def test_breakdown_labels_and_sum():
+    cs = ClassStats()
+    cs.record("A", "read", "timely", 1)
+    cs.record("R", "read", "late", 3)
+    brk = cs.breakdown("read")
+    assert set(brk) == {"A-Timely", "A-Late", "A-Only",
+                        "R-Timely", "R-Late", "R-Only"}
+    assert sum(brk.values()) == pytest.approx(1.0)
+    assert brk["R-Late"] == pytest.approx(0.75)
+
+
+def test_coverage_counts_timely_plus_late():
+    cs = ClassStats()
+    cs.record("A", "rdex", "timely", 5)
+    cs.record("A", "rdex", "late", 3)
+    cs.record("R", "rdex", "only", 2)
+    assert cs.coverage("rdex") == pytest.approx(0.8)
+
+
+def test_empty_stats_are_zero():
+    cs = ClassStats()
+    assert cs.total("read") == 0
+    assert cs.fraction("A", "read", "timely") == 0.0
+    assert cs.coverage("rdex") == 0.0
+    assert sum(cs.breakdown("read").values()) == 0.0
+
+
+def test_bad_keys_rejected():
+    cs = ClassStats()
+    with pytest.raises(ValueError):
+        cs.record("B", "read", "timely")
+    with pytest.raises(ValueError):
+        cs.record("A", "write", "timely")
+    with pytest.raises(ValueError):
+        cs.record("A", "read", "early")
+
+
+def test_classify_line_outcome_precedence():
+    """merged_late beats sibling_hit beats only."""
+    cs = ClassStats()
+    ln = CacheLine(0x1000, MESIState.SHARED)
+    ln.fetcher, ln.fill_kind = "A", "read"
+    ln.merged_late = True
+    ln.sibling_hit = True
+    cs.classify_line(ln)
+    assert cs.get("A", "read", "late") == 1
+
+    ln2 = CacheLine(0x1080, MESIState.SHARED)
+    ln2.fetcher, ln2.fill_kind = "A", "read"
+    ln2.sibling_hit = True
+    cs.classify_line(ln2)
+    assert cs.get("A", "read", "timely") == 1
+
+    ln3 = CacheLine(0x1100, MESIState.SHARED)
+    ln3.fetcher, ln3.fill_kind = "R", "rdex"
+    cs.classify_line(ln3)
+    assert cs.get("R", "rdex", "only") == 1
+
+
+def test_classify_line_without_record_is_noop():
+    cs = ClassStats()
+    cs.classify_line(CacheLine(0x1000, MESIState.SHARED))
+    assert cs.total("read") + cs.total("rdex") == 0
+
+
+def test_merge_accumulates():
+    a, b = ClassStats(), ClassStats()
+    a.record("A", "read", "timely", 2)
+    b.record("A", "read", "timely", 3)
+    b.record("R", "rdex", "only", 1)
+    a.merge(b)
+    assert a.get("A", "read", "timely") == 5
+    assert a.get("R", "rdex", "only") == 1
+
+
+def test_as_dict_round_trip():
+    cs = ClassStats()
+    cs.record("A", "read", "timely", 2)
+    cs.record("R", "rdex", "late", 4)
+    d = cs.as_dict()
+    assert d == {"A-read-timely": 2, "R-rdex-late": 4}

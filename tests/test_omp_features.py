@@ -1,0 +1,193 @@
+"""Tests for the wider OpenMP feature surface: lastprivate, num_threads,
+OMP_NUM_THREADS, guided details, and combined-clause interactions."""
+
+import numpy as np
+import pytest
+
+from repro import compile_source, run_program
+from repro.config import PAPER_MACHINE
+from repro.interp import FunctionalRunner
+from repro.lang.errors import SemanticError
+from repro.runtime import RuntimeEnv
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+LASTPRIVATE = """
+double last;
+double a[37];
+int i;
+void main() {
+    #pragma omp parallel for lastprivate(last) schedule(runtime)
+    for (i = 0; i < 37; i = i + 1) {
+        last = i * 2.0;
+        a[i] = last;
+    }
+}
+"""
+
+
+@pytest.mark.parametrize("mode", ["single", "double", "slipstream"])
+@pytest.mark.parametrize("sched", [("static", None), ("static", 4),
+                                   ("dynamic", 5), ("guided", 2)])
+def test_lastprivate_all_modes_and_schedules(mode, sched):
+    img = compile_source(LASTPRIVATE)
+    r = run_program(img, cfg=CFG, mode=mode, env=RuntimeEnv(schedule=sched))
+    # The sequentially-last iteration (i=36) defines the final value.
+    assert r.store.value("last") == 72.0, (mode, sched)
+    assert np.array_equal(r.store.array("a"), np.arange(37) * 2.0)
+
+
+def test_lastprivate_functional():
+    r = FunctionalRunner(compile_source(LASTPRIVATE)).run()
+    assert r.store.value("last") == 72.0
+
+
+def test_lastprivate_requires_shared_scalar():
+    with pytest.raises(SemanticError):
+        compile_source("""
+double a[4];
+int i;
+void main() {
+    #pragma omp parallel for lastprivate(a)
+    for (i = 0; i < 4; i = i + 1) { }
+}
+""")
+
+
+def test_lastprivate_empty_loop_leaves_value():
+    img = compile_source("""
+double last = 5.0;
+int i;
+void main() {
+    int n;
+    n = 0;
+    #pragma omp parallel for lastprivate(last)
+    for (i = 0; i < n; i = i + 1) last = 9.0;
+}
+""")
+    r = run_program(img, cfg=CFG, mode="single")
+    assert r.store.value("last") == 5.0
+
+
+NUMTHREADS = """
+double seen[16];
+int i;
+void main() {
+    #pragma omp parallel for num_threads(3) schedule(static, 1)
+    for (i = 0; i < 16; i = i + 1) seen[i] = omp_get_thread_num();
+}
+"""
+
+
+@pytest.mark.parametrize("mode", ["single", "slipstream"])
+def test_num_threads_clause_narrows_team(mode):
+    img = compile_source(NUMTHREADS)
+    r = run_program(img, cfg=PAPER_MACHINE.with_(n_cmps=8), mode=mode)
+    ids = set(np.unique(r.store.array("seen")))
+    assert ids == {0.0, 1.0, 2.0}
+
+
+def test_omp_num_threads_env_caps_default_team():
+    img = compile_source(NUMTHREADS.replace(" num_threads(3)", ""))
+    r = run_program(img, cfg=PAPER_MACHINE.with_(n_cmps=8), mode="single",
+                    env=RuntimeEnv(num_threads=2))
+    assert set(np.unique(r.store.array("seen"))) == {0.0, 1.0}
+
+
+def test_num_threads_clause_beats_env():
+    img = compile_source(NUMTHREADS)
+    r = run_program(img, cfg=PAPER_MACHINE.with_(n_cmps=8), mode="single",
+                    env=RuntimeEnv(num_threads=6))
+    assert set(np.unique(r.store.array("seen"))) == {0.0, 1.0, 2.0}
+
+
+def test_num_threads_larger_than_pool_is_capped():
+    img = compile_source(
+        NUMTHREADS.replace("num_threads(3)", "num_threads(999)"))
+    r = run_program(img, cfg=CFG, mode="single")
+    assert set(np.unique(r.store.array("seen"))) <= {0.0, 1.0, 2.0, 3.0}
+
+
+def test_narrowed_team_with_barriers():
+    """Barriers inside a narrowed region must only gather the narrowed
+    team (a classic deadlock if mis-implemented)."""
+    img = compile_source("""
+double a[8];
+double b[8];
+int i;
+void main() {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp for
+        for (i = 0; i < 8; i = i + 1) a[i] = i;
+        #pragma omp barrier
+        #pragma omp for
+        for (i = 0; i < 8; i = i + 1) b[i] = a[7 - i];
+    }
+}
+""")
+    for mode in ("single", "slipstream"):
+        r = run_program(img, cfg=CFG, mode=mode)
+        assert np.array_equal(r.store.array("b"),
+                              np.arange(7, -1, -1.0)), mode
+
+
+def test_sequential_regions_with_different_team_sizes():
+    img = compile_source("""
+double n1, n2;
+double sink[8];
+int i;
+void main() {
+    #pragma omp parallel num_threads(2)
+    {
+        #pragma omp master
+        { n1 = omp_get_num_threads(); }
+        #pragma omp for
+        for (i = 0; i < 8; i = i + 1) sink[i] = i;
+    }
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { n2 = omp_get_num_threads(); }
+        #pragma omp for
+        for (i = 0; i < 8; i = i + 1) sink[i] = i + 1;
+    }
+}
+""")
+    r = run_program(img, cfg=CFG, mode="single")
+    assert r.store.value("n1") == 2.0
+    assert r.store.value("n2") == 4.0
+
+
+def test_guided_respects_min_chunk():
+    img = compile_source("""
+double a[100];
+int i;
+void main() {
+    #pragma omp parallel for schedule(guided, 7)
+    for (i = 0; i < 100; i = i + 1) a[i] = 1.0;
+}
+""")
+    r = run_program(img, cfg=CFG, mode="single")
+    assert float(np.sum(r.store.array("a"))) == 100.0
+
+
+def test_reduction_and_lastprivate_together():
+    img = compile_source("""
+double total;
+double last;
+double junk[20];
+int i;
+void main() {
+    #pragma omp parallel for reduction(+: total) lastprivate(last)
+    for (i = 0; i < 20; i = i + 1) {
+        total = total + i;
+        last = i;
+        junk[i] = i;
+    }
+}
+""")
+    for mode in ("single", "slipstream"):
+        r = run_program(img, cfg=CFG, mode=mode)
+        assert r.store.value("total") == 190.0, mode
+        assert r.store.value("last") == 19.0, mode

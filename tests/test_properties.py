@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: cache/LRU behaviour, allocator and placement, scheduler
+coverage, classification accounting, and VM arithmetic semantics."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, PAPER_MACHINE
+from repro.interp.interpreter import _binop
+from repro.mem import (Cache, ClassStats, MESIState, Placement,
+                       SharedAllocator, is_shared_addr)
+from repro.mem.address import SHARED_BASE
+from repro.sim import TimeBreakdown
+
+# --------------------------------------------------------------------- cache
+
+addr_strategy = st.integers(min_value=0, max_value=0xFFFF).map(
+    lambda x: SHARED_BASE + x * 8)
+
+
+@given(st.lists(addr_strategy, min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_cache_capacity_invariant(addrs):
+    """A set-associative cache never holds more lines than capacity nor
+    more than `assoc` lines per set, under any access sequence."""
+    cfg = CacheConfig(size_bytes=4 * 4 * 128, assoc=4, line_bytes=128,
+                      hit_cycles=1)
+    c = Cache(cfg)
+    for a in addrs:
+        if c.lookup(a) is None:
+            c.insert(a, MESIState.SHARED)
+    assert c.resident_count() <= cfg.num_lines
+    for s in c._sets:
+        assert len(s) <= cfg.assoc
+        # no duplicate tags in a set
+        tags = [l.line_addr for l in s]
+        assert len(tags) == len(set(tags))
+
+
+@given(st.lists(addr_strategy, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_cache_hit_after_insert_until_evicted(addrs):
+    """Immediately after an insert, lookup must hit."""
+    cfg = CacheConfig(size_bytes=2 * 8 * 128, assoc=2, line_bytes=128,
+                      hit_cycles=1)
+    c = Cache(cfg)
+    for a in addrs:
+        c.insert(a, MESIState.SHARED)
+        assert c.peek(a) is not None
+
+
+@given(st.lists(addr_strategy, min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_cache_accounting_consistency(addrs):
+    cfg = CacheConfig(size_bytes=2 * 4 * 128, assoc=2, line_bytes=128,
+                      hit_cycles=1)
+    c = Cache(cfg)
+    for a in addrs:
+        if c.lookup(a) is None:
+            c.insert(a, MESIState.SHARED)
+    assert c.hits + c.misses == len(addrs)
+
+
+# ----------------------------------------------------------------- allocator
+
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_allocator_regions_disjoint_and_aligned(sizes):
+    a = SharedAllocator()
+    regions = []
+    for n in sizes:
+        base = a.alloc(n)
+        assert base % 128 == 0
+        assert is_shared_addr(base) and is_shared_addr(base + n - 1)
+        regions.append((base, base + n))
+    regions.sort()
+    for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+        assert e1 <= s2                      # no overlap
+
+
+@given(st.integers(min_value=1, max_value=64),
+       st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_placement_is_a_function(n_nodes, offsets):
+    """home() is deterministic and always a valid node, and identical
+    for addresses within the same page."""
+    p = Placement("round_robin", n_nodes)
+    for off in offsets:
+        addr = SHARED_BASE + off * 64
+        h = p.home(addr)
+        assert 0 <= h < n_nodes
+        assert h == p.home(addr)             # stable
+        assert h == p.home((addr // 4096) * 4096)  # page-uniform
+
+
+@given(st.integers(min_value=2, max_value=32),
+       st.lists(st.tuples(st.integers(0, 200), st.integers(0, 31)),
+                min_size=1, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_first_touch_stable_under_any_touch_order(n_nodes, touches):
+    p = Placement("first_touch", n_nodes)
+    first = {}
+    for page, toucher in touches:
+        addr = SHARED_BASE + page * 4096
+        h = p.home(addr, toucher=toucher % n_nodes)
+        if page not in first:
+            first[page] = h
+        assert p.home(addr) == first[page]
+
+
+# ----------------------------------------------------------------- scheduler
+
+def _static_chunks(n, T, chunk):
+    """Replicate the runtime's static scheduler for all threads."""
+    covered = []
+    for t in range(T):
+        if chunk is None:
+            start = n * t // T
+            end = n * (t + 1) // T
+            if end > start:
+                covered.append((start, end - start))
+        else:
+            pos = t
+            while pos * chunk < n:
+                start = pos * chunk
+                covered.append((start, min(chunk, n - start)))
+                pos += T
+    return covered
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=33),
+       st.one_of(st.none(), st.integers(min_value=1, max_value=40)))
+@settings(max_examples=120, deadline=None)
+def test_static_schedule_partitions_exactly(n, T, chunk):
+    """Every iteration is assigned exactly once -- the invariant that
+    makes the A-stream's independent static scheduling sound."""
+    seen = np.zeros(n, dtype=int)
+    for start, cnt in _static_chunks(n, T, chunk):
+        seen[start:start + cnt] += 1
+    assert (seen == 1).all() if n else True
+
+
+@given(st.integers(min_value=1, max_value=400),
+       st.integers(min_value=1, max_value=32),
+       st.integers(min_value=1, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_guided_chunks_cover_and_shrink(n, T, cmin):
+    """The guided formula always terminates, covers [0, n), and never
+    hands out an empty chunk."""
+    nxt = 0
+    chunks = []
+    while nxt < n:
+        cnt = max(cmin, (n - nxt) // (2 * T))
+        cnt = min(cnt, n - nxt)
+        assert cnt >= 1
+        chunks.append((nxt, cnt))
+        nxt += cnt
+    assert sum(c for _, c in chunks) == n
+
+
+# ------------------------------------------------------------ classification
+
+outcome_events = st.lists(
+    st.tuples(st.sampled_from(["A", "R"]), st.sampled_from(["read", "rdex"]),
+              st.sampled_from(["timely", "late", "only"])),
+    min_size=0, max_size=100)
+
+
+@given(outcome_events)
+@settings(max_examples=50, deadline=None)
+def test_classification_totals(events):
+    cs = ClassStats()
+    for f, k, o in events:
+        cs.record(f, k, o)
+    assert cs.total("read") + cs.total("rdex") == len(events)
+    for kind in ("read", "rdex"):
+        brk = cs.breakdown(kind)
+        if cs.total(kind):
+            assert math.isclose(sum(brk.values()), 1.0, rel_tol=1e-9)
+        assert 0 <= cs.coverage(kind) <= 1
+
+
+# ------------------------------------------------------------ time breakdown
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "pop"]),
+                          st.sampled_from(["memory", "lock", "barrier"]),
+                          st.floats(min_value=0.01, max_value=50)),
+                min_size=0, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_breakdown_total_equals_elapsed(ops):
+    bd = TimeBreakdown(start=0.0)
+    now = 0.0
+    depth = 0
+    for kind, cat, dt in ops:
+        now += dt
+        if kind == "push":
+            bd.push(cat, now)
+            depth += 1
+        elif depth > 0:
+            bd.pop(now)
+            depth -= 1
+        else:
+            bd.push(cat, now)
+            depth += 1
+    now += 1.0
+    bd.close(now)
+    assert math.isclose(bd.total(), now, rel_tol=1e-9)
+
+
+# ------------------------------------------------------------- VM arithmetic
+
+@given(st.integers(min_value=-10_000, max_value=10_000),
+       st.integers(min_value=-10_000, max_value=10_000))
+@settings(max_examples=200, deadline=None)
+def test_c_integer_division_identity(a, b):
+    """C guarantees (a/b)*b + a%b == a with truncation toward zero."""
+    if b == 0:
+        return
+    q = _binop("/", a, b)
+    r = _binop("%", a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    # truncation toward zero
+    assert q == int(a / b) if b != 0 else True
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_float_division_by_zero_never_traps(a):
+    v = _binop("/", a, 0.0)
+    if a == 0:
+        assert math.isnan(v)
+    else:
+        assert math.isinf(v)
+        assert (v > 0) == (a > 0)

@@ -1,0 +1,65 @@
+"""Tests for OMP_* environment handling, including the paper's
+OMP_SLIPSTREAM variable."""
+
+import pytest
+
+from repro.runtime.env import RuntimeEnv, parse_slipstream
+
+
+def test_defaults():
+    env = RuntimeEnv()
+    assert env.num_threads is None
+    assert env.schedule == ("static", None)
+    assert env.slipstream == ("GLOBAL_SYNC", 0)
+    assert env.slipstream_set is False
+
+
+def test_from_mapping_full():
+    env = RuntimeEnv.from_mapping({
+        "OMP_NUM_THREADS": "8",
+        "OMP_SCHEDULE": "dynamic, 16",
+        "OMP_SLIPSTREAM": "LOCAL_SYNC, 2",
+    })
+    assert env.num_threads == 8
+    assert env.schedule == ("dynamic", 16)
+    assert env.slipstream == ("LOCAL_SYNC", 2)
+    assert env.slipstream_set is True
+
+
+def test_from_mapping_ignores_unrelated_vars():
+    env = RuntimeEnv.from_mapping({"PATH": "/bin", "OMP_SCHEDULE": "guided"})
+    assert env.schedule == ("guided", None)
+
+
+@pytest.mark.parametrize("text,expect", [
+    ("GLOBAL_SYNC", ("GLOBAL_SYNC", 0)),
+    ("global_sync,3", ("GLOBAL_SYNC", 3)),
+    ("LOCAL_SYNC , 1", ("LOCAL_SYNC", 1)),
+    ("NONE", ("NONE", 0)),
+])
+def test_parse_slipstream_accepts(text, expect):
+    assert parse_slipstream(text) == expect
+
+
+@pytest.mark.parametrize("text", ["SOMETIMES", "LOCAL_SYNC,-1", "", "1,2"])
+def test_parse_slipstream_rejects(text):
+    with pytest.raises(ValueError):
+        parse_slipstream(text)
+
+
+@pytest.mark.parametrize("sched", ["static", "dynamic,8", "guided,2"])
+def test_schedule_parsing(sched):
+    env = RuntimeEnv.from_mapping({"OMP_SCHEDULE": sched})
+    kind = sched.split(",")[0]
+    assert env.schedule[0] == kind
+
+
+@pytest.mark.parametrize("bad", ["fifo", "dynamic,0", "static,-3"])
+def test_bad_schedule_rejected(bad):
+    with pytest.raises(ValueError):
+        RuntimeEnv.from_mapping({"OMP_SCHEDULE": bad})
+
+
+def test_bad_num_threads_rejected():
+    with pytest.raises(ValueError):
+        RuntimeEnv.from_mapping({"OMP_NUM_THREADS": "0"})

@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, SimEvent, SimulationError
+
+
+def test_single_process_delays_advance_clock():
+    eng = Engine()
+    log = []
+
+    def body():
+        log.append(eng.now)
+        yield 5
+        log.append(eng.now)
+        yield 2.5
+        log.append(eng.now)
+        return "done"
+
+    result = eng.run_process(body(), name="t")
+    assert result == "done"
+    assert log == [0.0, 5.0, 7.5]
+    assert eng.now == 7.5
+
+
+def test_two_processes_interleave_deterministically():
+    eng = Engine()
+    log = []
+
+    def worker(tag, step):
+        for _ in range(3):
+            yield step
+            log.append((tag, eng.now))
+
+    eng.process(worker("a", 2), name="a")
+    eng.process(worker("b", 3), name="b")
+    eng.run()
+    # At t=6 both workers resume; b's resumption was scheduled first (at
+    # t=3) so FIFO tie-breaking runs it first.
+    assert log == [("a", 2), ("b", 3), ("a", 4), ("b", 6), ("a", 6), ("b", 9)]
+
+
+def test_same_time_fifo_ordering():
+    eng = Engine()
+    order = []
+
+    def w(tag):
+        yield 1
+        order.append(tag)
+
+    for tag in "abcde":
+        eng.process(w(tag), name=tag)
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_event_wait_and_value_passing():
+    eng = Engine()
+    evt = eng.event("sig")
+    seen = []
+
+    def waiter():
+        val = yield evt
+        seen.append((eng.now, val))
+
+    def firer():
+        yield 4
+        evt.fire("payload")
+
+    eng.process(waiter(), name="w")
+    eng.process(firer(), name="f")
+    eng.run()
+    assert seen == [(4.0, "payload")]
+
+
+def test_event_fire_twice_raises():
+    eng = Engine()
+    evt = eng.event()
+    evt.fire(1)
+    with pytest.raises(SimulationError):
+        evt.fire(2)
+
+
+def test_late_subscription_gets_stored_value():
+    eng = Engine()
+    evt = eng.event()
+    evt.fire(42)
+    got = []
+
+    def waiter():
+        got.append((yield evt))
+
+    eng.process(waiter())
+    eng.run()
+    assert got == [42]
+
+
+def test_yield_from_composes_subroutines():
+    eng = Engine()
+
+    def inner():
+        yield 3
+        return 10
+
+    def outer():
+        a = yield from inner()
+        yield 2
+        return a + 1
+
+    assert eng.run_process(outer()) == 11
+    assert eng.now == 5.0
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+
+    def bad():
+        yield -1
+
+    eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+
+    def slow():
+        yield 100
+
+    eng.process(slow())
+    eng.run(until=10)
+    assert eng.now == 10
+
+
+def test_all_of_waits_for_every_event():
+    eng = Engine()
+    e1, e2 = eng.event(), eng.event()
+    done = []
+
+    def waiter():
+        vals = yield eng.all_of([e1, e2])
+        done.append((eng.now, vals))
+
+    def f1():
+        yield 2
+        e1.fire("x")
+
+    def f2():
+        yield 7
+        e2.fire("y")
+
+    eng.process(waiter())
+    eng.process(f1())
+    eng.process(f2())
+    eng.run()
+    assert done == [(7.0, ["x", "y"])]
+
+
+def test_all_of_with_prefired_events():
+    eng = Engine()
+    e1 = eng.event()
+    e1.fire(1)
+    e2 = eng.event()
+    e2.fire(2)
+    out = eng.all_of([e1, e2])
+    assert out.fired and out.value == [1, 2]
+
+
+def test_interrupt_delivered_as_exception():
+    eng = Engine()
+    evt = eng.event()
+    caught = []
+
+    def victim():
+        try:
+            yield evt
+        except Interrupt as i:
+            caught.append((eng.now, i.cause))
+
+    def attacker(proc):
+        yield 5
+        proc.interrupt("diverged")
+
+    p = eng.process(victim(), name="victim")
+    eng.process(attacker(p), name="attacker")
+    eng.run()
+    assert caught == [(5.0, "diverged")]
+    # The event should no longer resume the victim.
+    assert not evt._waiters
+
+
+def test_kill_stops_process_and_fires_done():
+    eng = Engine()
+
+    def forever():
+        while True:
+            yield 1
+
+    p = eng.process(forever())
+    def killer():
+        yield 3
+        p.kill()
+
+    eng.process(killer())
+    eng.run()
+    assert not p.alive
+    assert p.done_event.fired
+
+
+def test_done_event_carries_return_value():
+    eng = Engine()
+
+    def child():
+        yield 2
+        return "rv"
+
+    results = []
+
+    def parent():
+        proc = eng.process(child())
+        results.append((yield proc.done_event))
+
+    eng.process(parent())
+    eng.run()
+    assert results == ["rv"]
+
+
+def test_run_process_detects_deadlock():
+    eng = Engine()
+    evt = eng.event()
+
+    def stuck():
+        yield evt
+
+    with pytest.raises(SimulationError):
+        eng.run_process(stuck(), name="stuck")
+
+
+def test_timeout_event_fires_by_itself():
+    eng = Engine()
+    evt = eng.timeout_event(6, value="tick")
+    seen = []
+
+    def w():
+        seen.append((yield evt))
+
+    eng.process(w())
+    eng.run()
+    assert seen == ["tick"] and eng.now == 6.0

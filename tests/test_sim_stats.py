@@ -1,0 +1,96 @@
+"""Unit tests for counters and exclusive time-category accounting."""
+
+import pytest
+
+from repro.sim import Counter, TimeBreakdown
+
+
+def test_counter_add_get_merge():
+    c1 = Counter()
+    c1.add("loads")
+    c1.add("loads", 4)
+    c2 = Counter()
+    c2.add("loads", 2)
+    c2.add("stores", 7)
+    c1.merge(c2)
+    assert c1.get("loads") == 7
+    assert c1.get("stores") == 7
+    assert c1.get("missing") == 0
+    assert c1.as_dict() == {"loads": 7, "stores": 7}
+
+
+def test_breakdown_base_category_is_busy():
+    bd = TimeBreakdown(start=0.0)
+    bd.close(10.0)
+    assert bd.get("busy") == 10.0
+    assert bd.total() == 10.0
+
+
+def test_breakdown_nested_exclusive_attribution():
+    bd = TimeBreakdown(start=0.0)
+    bd.push("barrier", 4.0)       # busy: 4
+    bd.push("memory", 6.0)        # barrier: 2
+    bd.pop(9.0)                   # memory: 3
+    bd.pop(10.0)                  # barrier: 1
+    bd.close(12.0)                # busy: 2
+    assert bd.get("busy") == 6.0
+    assert bd.get("barrier") == 3.0
+    assert bd.get("memory") == 3.0
+    assert bd.total() == 12.0
+
+
+def test_breakdown_switch_replaces_top():
+    bd = TimeBreakdown(start=0.0)
+    bd.push("lock", 1.0)
+    bd.switch("scheduling", 3.0)   # lock gets 2
+    bd.pop(7.0)                    # scheduling gets 4
+    bd.close(8.0)
+    assert bd.get("lock") == 2.0
+    assert bd.get("scheduling") == 4.0
+    assert bd.get("busy") == 2.0
+
+
+def test_breakdown_pop_empty_raises():
+    bd = TimeBreakdown()
+    with pytest.raises(ValueError):
+        bd.pop(1.0)
+
+
+def test_breakdown_time_backwards_raises():
+    bd = TimeBreakdown(start=5.0)
+    with pytest.raises(ValueError):
+        bd.push("memory", 4.0)
+
+
+def test_breakdown_fractions_sum_to_one():
+    bd = TimeBreakdown()
+    bd.push("memory", 2.0)
+    bd.pop(6.0)
+    bd.close(10.0)
+    fr = bd.fractions()
+    assert sum(fr.values()) == pytest.approx(1.0)
+    assert fr["memory"] == pytest.approx(0.4)
+
+
+def test_breakdown_aggregate_across_processors():
+    a = TimeBreakdown()
+    a.push("memory", 0.0)
+    a.pop(5.0)
+    a.close(10.0)
+    b = TimeBreakdown()
+    b.push("barrier", 0.0)
+    b.pop(4.0)
+    b.close(10.0)
+    agg = TimeBreakdown.aggregate([a, b])
+    assert agg["memory"] == 5.0
+    assert agg["barrier"] == 4.0
+    assert agg["busy"] == 11.0
+
+
+def test_breakdown_current_tracks_stack():
+    bd = TimeBreakdown()
+    assert bd.current == "busy"
+    bd.push("io", 0.0)
+    assert bd.current == "io"
+    bd.pop(1.0)
+    assert bd.current == "busy"
