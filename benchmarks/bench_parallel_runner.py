@@ -1,0 +1,109 @@
+"""Perf baseline for the parallel experiment execution layer.
+
+Measures the static smoke sweep three ways -- serial with a cold
+compile cache, serial warm, and under a process pool -- records the
+per-stage compile/simulate split, and writes the whole measurement to
+``BENCH_parallel_runner.json`` at the repository root so future PRs
+have a wall-clock trajectory to compare against (cycle counts are
+additionally asserted bit-identical across contexts, the determinism
+guarantee of ``repro.harness.exec``).
+
+Knobs (see conftest): ``REPRO_BENCH_SIZE``, ``REPRO_BENCH_CMPS``;
+``REPRO_BENCH_POOL_JOBS`` sets the pool width measured here (default
+``min(4, cpu_count)``).
+"""
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from conftest import bench_cfg, bench_size, publish
+from repro.harness import (ProcessPoolContext, SerialContext,
+                           render_table)
+from repro.harness.exec import static_specs
+from repro.npb import clear_cache
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / \
+    "BENCH_parallel_runner.json"
+
+#: The CI smoke sweep: every execution mode, both sync policies, on the
+#: two benchmarks with the most distinct communication patterns.
+SMOKE_BENCHMARKS = ("bt", "cg")
+SMOKE_CONFIGS = ("single", "double", "G0", "L1")
+
+
+def _pool_jobs() -> int:
+    # At least 2 so the pool machinery (fork, pickle, merge) is always
+    # exercised; on a multicore host, up to 4.
+    return int(os.environ.get("REPRO_BENCH_POOL_JOBS",
+                              max(2, min(4, os.cpu_count() or 1))))
+
+
+def _stage_split(runs):
+    compile_s = sum(r.timing["compile_s"] for r in runs)
+    sim_s = sum(r.timing["sim_s"] for r in runs)
+    return {"compile_s": round(compile_s, 4), "sim_s": round(sim_s, 4)}
+
+
+def _measure():
+    specs = static_specs(bench_cfg(), bench_size(),
+                         SMOKE_BENCHMARKS, SMOKE_CONFIGS)
+    clear_cache()                       # cold in-memory compile cache
+    t0 = time.perf_counter()
+    cold = SerialContext().run(specs)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = SerialContext().run(specs)   # compile cache now hot
+    t_warm = time.perf_counter() - t0
+
+    jobs = _pool_jobs()
+    t0 = time.perf_counter()
+    pooled = ProcessPoolContext(jobs=jobs).run(specs)
+    t_pool = time.perf_counter() - t0
+
+    assert [r.cycles for r in warm] == [r.cycles for r in cold]
+    assert [r.cycles for r in pooled] == [r.cycles for r in cold]
+    return {
+        "sweep": {"benchmarks": SMOKE_BENCHMARKS, "configs": SMOKE_CONFIGS,
+                  "size": bench_size(), "n_cmps": bench_cfg().n_cmps,
+                  "runs": len(specs)},
+        "host": {"cpu_count": os.cpu_count(),
+                 "platform": platform.platform(),
+                 "python": platform.python_version()},
+        "serial_cold_s": round(t_cold, 3),
+        "serial_warm_s": round(t_warm, 3),
+        "pool_jobs": jobs,
+        "pool_s": round(t_pool, 3),
+        "pool_speedup_vs_serial": round(t_cold / t_pool, 3),
+        "stages_cold": _stage_split(cold),
+        "stages_warm": _stage_split(warm),
+        "cycles_bit_identical_across_contexts": True,
+    }
+
+
+def test_parallel_runner_baseline(once):
+    data = once(_measure)
+    BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    rows = [
+        ["serial (cold cache)", f"{data['serial_cold_s']:.2f}",
+         f"{data['stages_cold']['compile_s']:.3f}",
+         f"{data['stages_cold']['sim_s']:.2f}"],
+        ["serial (warm cache)", f"{data['serial_warm_s']:.2f}",
+         f"{data['stages_warm']['compile_s']:.3f}",
+         f"{data['stages_warm']['sim_s']:.2f}"],
+        [f"pool ({data['pool_jobs']} jobs)", f"{data['pool_s']:.2f}",
+         "-", "-"],
+    ]
+    publish("parallel_runner", render_table(
+        ["context", "wall s", "compile s", "sim s"], rows,
+        f"execution contexts, {len(SMOKE_BENCHMARKS) * len(SMOKE_CONFIGS)}"
+        f"-run static sweep ({data['sweep']['size']} size, "
+        f"{data['sweep']['n_cmps']} CMPs, "
+        f"host cpus={data['host']['cpu_count']})"))
+    # Determinism is asserted inside _measure(); wall-clock claims about
+    # pool speedup are only meaningful with real cores to fan out on.
+    if (os.cpu_count() or 1) >= 4:
+        assert data["pool_speedup_vs_serial"] > 1.5

@@ -7,7 +7,10 @@ are computed once and memoized across benchmark files.
 Environment knobs (for quicker exploratory runs):
 
 * ``REPRO_BENCH_SIZE``  -- "bench" (default, paper-scale) or "test";
-* ``REPRO_BENCH_CMPS``  -- number of CMPs (default 16, the paper's).
+* ``REPRO_BENCH_CMPS``  -- number of CMPs (default 16, the paper's);
+* ``REPRO_BENCH_JOBS``  -- worker processes for the suite's independent
+  simulations (default 1 = serial; results are bit-identical either
+  way, only wall-clock changes).
 
 Rendered outputs are also written to ``benchmarks/results/*.txt`` so
 EXPERIMENTS.md can reference a stable artifact.
@@ -21,7 +24,7 @@ import pathlib
 import pytest
 
 from repro.config import PAPER_MACHINE
-from repro.harness import run_dynamic_suite, run_static_suite
+from repro.harness import make_context, run_dynamic_suite, run_static_suite
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -37,17 +40,24 @@ def bench_cfg():
     return PAPER_MACHINE.with_(n_cmps=n)
 
 
+def bench_context():
+    """Execution context for the suites (REPRO_BENCH_JOBS workers)."""
+    return make_context(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
 def get_static_suite():
     key = ("static", bench_size(), bench_cfg().n_cmps)
     if key not in _cache:
-        _cache[key] = run_static_suite(cfg=bench_cfg(), size=bench_size())
+        _cache[key] = run_static_suite(cfg=bench_cfg(), size=bench_size(),
+                                       context=bench_context())
     return _cache[key]
 
 
 def get_dynamic_suite():
     key = ("dynamic", bench_size(), bench_cfg().n_cmps)
     if key not in _cache:
-        _cache[key] = run_dynamic_suite(cfg=bench_cfg(), size=bench_size())
+        _cache[key] = run_dynamic_suite(cfg=bench_cfg(), size=bench_size(),
+                                        context=bench_context())
     return _cache[key]
 
 

@@ -74,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ben.add_argument("names", nargs="*", default=[],
                      help="benchmarks (default: all of bt cg lu mg sp)")
     ben.add_argument("--size", default="test", choices=["test", "bench"])
+    ben.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="run the suite's independent simulations on a "
+                          "process pool of N workers (results are "
+                          "bit-identical to -j 1; default serial)")
     _machine_args(ben)
     return ap
 
@@ -167,8 +171,10 @@ def _cmd_bench(args, out) -> int:
     if bad:
         print(f"unknown benchmark(s): {bad}", file=sys.stderr)
         return 2
+    from .harness import make_context
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
-    suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names)
+    suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names,
+                             context=make_context(args.jobs))
     print(render_speedups(
         suite, title=f"mini-NPB ({args.size} size, {args.cmps} CMPs)"),
         file=out)

@@ -116,6 +116,14 @@ class Code:
         """Number of declared parameters."""
         return len(self.params)
 
+    def __getstate__(self):
+        """Pickle without the interpreter's translated-instruction
+        cache (``_fast``): it is derived state, rebuilt on first
+        execution, and would only bloat disk-cache entries."""
+        state = self.__dict__.copy()
+        state.pop("_fast", None)
+        return state
+
 
 @dataclass
 class CompiledProgram:

@@ -9,6 +9,8 @@ from .report import classification_to_csv, suite_to_csv, suite_to_markdown
 from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
                      BenchRun, dynamic_chunk, run_benchmark,
                      run_dynamic_suite, run_static_suite)
+from .exec import (ExecutionContext, ProcessPoolContext, RunSpec,
+                   SerialContext, execute_spec, make_context)
 
 __all__ = [
     "BREAKDOWN_CATEGORIES", "benchmark_inventory", "breakdown_table",
@@ -18,4 +20,6 @@ __all__ = [
     "dynamic_chunk", "run_benchmark", "run_dynamic_suite",
     "run_static_suite", "classification_to_csv", "suite_to_csv",
     "suite_to_markdown",
+    "ExecutionContext", "ProcessPoolContext", "RunSpec", "SerialContext",
+    "execute_spec", "make_context",
 ]

@@ -1,0 +1,213 @@
+"""Parallel experiment execution layer.
+
+Every figure and ablation in this reproduction is a sweep of
+*independent* simulations (bench x config x machine parameters), which
+makes the suite embarrassingly parallel: the only coupling between runs
+is the order their results are reported in.  This module factors the
+"how do runs execute" question out of the harness into an
+*execution context* (in the spirit of puma's execution contexts: switch
+a whole program between serial and multi-process operation by changing
+the one line that instantiates the context):
+
+* :class:`RunSpec` -- a picklable, hashable description of one run
+  (bench, config, size, schedule, parameter and machine overrides);
+* :class:`SerialContext` -- executes specs in order, in process;
+* :class:`ProcessPoolContext` -- fans specs out over a
+  ``multiprocessing`` pool (``--jobs N`` on the CLI) and merges results
+  *by spec*, so the returned list is in submission order no matter
+  which worker finished first.
+
+Determinism guarantee: each simulation is a pure function of its spec
+(the engine breaks timestamp ties with a monotone sequence number, and
+compilation is content-addressed), so simulated cycle counts are
+bit-identical across worker counts and submission orders.  The
+``tests/test_harness_exec.py`` suite pins this down.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..npb import REGISTRY
+from ..runtime import run_program
+from .runner import BenchRun, _env_for, _mode_for
+
+__all__ = ["RunSpec", "ExecutionContext", "SerialContext",
+           "ProcessPoolContext", "execute_spec", "make_context"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One benchmark run, described by value.
+
+    Everything here is hashable and picklable: the spec is both the job
+    description shipped to pool workers and the merge key results are
+    collated by.  ``params`` and ``machine_kw`` are stored as sorted
+    item tuples (dicts are neither hashable nor order-canonical).
+    """
+
+    bench: str
+    config: str                               # "single"|"double"|"G0"|"L1"
+    size: str = "bench"
+    schedule: Optional[Tuple[str, Optional[int]]] = None
+    params: Tuple[Tuple[str, int], ...] = ()
+    cfg: MachineConfig = PAPER_MACHINE
+    verify: bool = True
+    machine_kw: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(bench: str, config: str, size: str = "bench",
+             schedule: Optional[Tuple[str, Optional[int]]] = None,
+             params: Optional[Dict[str, int]] = None,
+             cfg: MachineConfig = PAPER_MACHINE,
+             verify: bool = True, **machine_kw) -> "RunSpec":
+        """Build a spec from the :func:`run_benchmark` argument shapes."""
+        return RunSpec(
+            bench=bench, config=config, size=size, schedule=schedule,
+            params=tuple(sorted((params or {}).items())),
+            cfg=cfg, verify=verify,
+            machine_kw=tuple(sorted(machine_kw.items())))
+
+    @property
+    def key(self) -> Tuple:
+        """Stable identity used to merge results deterministically."""
+        return (self.bench, self.config, self.size, self.schedule,
+                self.params, self.cfg, self.machine_kw)
+
+    def __str__(self) -> str:
+        extra = f" {dict(self.params)}" if self.params else ""
+        return f"{self.bench}/{self.config}({self.size}){extra}"
+
+
+def execute_spec(spec: RunSpec) -> BenchRun:
+    """Run one spec to completion (compile, simulate, verify).
+
+    This is the single execution path shared by every context -- and by
+    :func:`repro.harness.run_benchmark` -- so serial and pooled sweeps
+    cannot drift apart.  Per-stage wall-clock timings are recorded on
+    the returned run for the perf baseline.
+    """
+    ks = REGISTRY[spec.bench]
+    overrides = dict(spec.params)
+    full_params = ks.params(spec.size, **overrides)
+    t0 = time.perf_counter()
+    image = ks.compile(spec.size, **overrides)
+    t1 = time.perf_counter()
+    result = run_program(image, cfg=spec.cfg, mode=_mode_for(spec.config),
+                         env=_env_for(spec.config, spec.schedule),
+                         **dict(spec.machine_kw))
+    t2 = time.perf_counter()
+    if spec.verify:
+        ks.verify(result.store, spec.size, **overrides)
+    t3 = time.perf_counter()
+    run = BenchRun(spec.bench, spec.config, result, full_params)
+    run.timing = {"compile_s": t1 - t0, "sim_s": t2 - t1,
+                  "verify_s": t3 - t2, "total_s": t3 - t0}
+    return run
+
+
+def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, BenchRun]:
+    """Pool worker entry point (module-level for picklability)."""
+    index, spec = item
+    return index, execute_spec(spec)
+
+
+class ExecutionContext:
+    """How a batch of independent :class:`RunSpec` jobs executes.
+
+    Subclasses implement :meth:`run`; :meth:`map` adds the keyed view.
+    Both preserve the submission order of ``specs`` in their output
+    regardless of completion order -- the determinism contract every
+    caller (suites, figures, tests) relies on.
+    """
+
+    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
+        """Execute all specs; results in submission order."""
+        raise NotImplementedError
+
+    def map(self, specs: Sequence[RunSpec]) -> Dict[Tuple, BenchRun]:
+        """Execute all specs; results keyed by ``spec.key``."""
+        specs = list(specs)
+        return {s.key: r for s, r in zip(specs, self.run(specs))}
+
+
+class SerialContext(ExecutionContext):
+    """Execute specs one after another in this process."""
+
+    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
+        return [execute_spec(s) for s in specs]
+
+
+class ProcessPoolContext(ExecutionContext):
+    """Fan specs out over a ``multiprocessing`` pool.
+
+    Results are merged by submission index, so the output order -- and
+    therefore every downstream table -- is identical to
+    :class:`SerialContext`'s; only wall-clock changes.  ``jobs``
+    defaults to the host's CPU count.  Batches of one spec (or
+    ``jobs=1``) run inline: a pool would only add fork overhead.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 start_method: Optional[str] = None, chunksize: int = 1):
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.start_method = start_method
+        self.chunksize = chunksize
+
+    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
+        specs = list(specs)
+        nworkers = min(self.jobs, len(specs))
+        if nworkers <= 1:
+            return SerialContext().run(specs)
+        import multiprocessing as mp
+        ctx = mp.get_context(self.start_method)
+        results: List[Optional[BenchRun]] = [None] * len(specs)
+        with ctx.Pool(nworkers) as pool:
+            for index, run in pool.imap_unordered(
+                    _execute_indexed, list(enumerate(specs)),
+                    chunksize=self.chunksize):
+                results[index] = run
+        missing = [str(s) for s, r in zip(specs, results) if r is None]
+        if missing:                  # unreachable unless a worker died
+            raise RuntimeError(f"pool lost results for {missing}")
+        return results               # type: ignore[return-value]
+
+
+def make_context(jobs: Optional[int]) -> ExecutionContext:
+    """``--jobs``-style factory: None/0/1 -> serial, N>1 -> pool."""
+    if jobs is None or jobs <= 1:
+        return SerialContext()
+    return ProcessPoolContext(jobs=jobs)
+
+
+# -- suite spec builders (used by runner.py and the perf baseline) ----------
+
+def static_specs(cfg: MachineConfig, size: str,
+                 benchmarks: Iterable[str], configs: Iterable[str],
+                 verify: bool = True, **machine_kw) -> List[RunSpec]:
+    """Specs of the Figure-2/3 static-scheduling sweep, in suite order."""
+    return [RunSpec.make(b, c, size=size, cfg=cfg, verify=verify,
+                         **machine_kw)
+            for b in benchmarks for c in configs]
+
+
+def dynamic_specs(cfg: MachineConfig, size: str,
+                  benchmarks: Iterable[str], configs: Iterable[str],
+                  verify: bool = True, **machine_kw) -> List[RunSpec]:
+    """Specs of the Figure-4/5 dynamic-scheduling sweep, in suite order."""
+    from .runner import DYNAMIC_PARAMS, dynamic_chunk
+    specs = []
+    for b in benchmarks:
+        chunk = dynamic_chunk(b, cfg, size)
+        params = DYNAMIC_PARAMS.get(b) if size == "bench" else None
+        for c in configs:
+            specs.append(RunSpec.make(
+                b, c, size=size, schedule=("dynamic", chunk),
+                params=params, cfg=cfg, verify=verify, **machine_kw))
+    return specs

@@ -41,6 +41,9 @@ class BenchRun:
     config: str                  # "single" | "double" | "G0" | "L1" | ...
     result: RunResult
     params: Dict[str, int] = field(default_factory=dict)
+    #: wall-clock stage split recorded by the execution layer
+    #: ({"compile_s", "sim_s", "verify_s", "total_s"})
+    timing: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cycles(self) -> float:
@@ -76,16 +79,15 @@ def run_benchmark(bench: str, config: str,
                   params: Optional[Dict[str, int]] = None,
                   **machine_kw) -> BenchRun:
     """Run one mini-NPB benchmark in one configuration and verify the
-    computed values against the NumPy reference."""
-    spec = REGISTRY[bench]
-    overrides = params or {}
-    full_params = spec.params(size, **overrides)
-    image = spec.compile(size, **overrides)
-    result = run_program(image, cfg=cfg, mode=_mode_for(config),
-                         env=_env_for(config, schedule), **machine_kw)
-    if verify:
-        spec.verify(result.store, size, **overrides)
-    return BenchRun(bench, config, result, full_params)
+    computed values against the NumPy reference.
+
+    Thin wrapper over the execution layer: the spec/execute split in
+    :mod:`repro.harness.exec` is the single execution path, shared with
+    the parallel contexts."""
+    from .exec import RunSpec, execute_spec
+    return execute_spec(RunSpec.make(
+        bench, config, size=size, schedule=schedule, params=params,
+        cfg=cfg, verify=verify, **machine_kw))
 
 
 def dynamic_chunk(bench: str, cfg: MachineConfig, size: str = "bench"
@@ -112,20 +114,33 @@ DYNAMIC_PARAMS: Dict[str, Dict[str, int]] = {
 }
 
 
+def _merge_suite(specs, runs) -> Dict[str, Dict[str, BenchRun]]:
+    """Collate context results into {bench: {config: BenchRun}}, keyed
+    by spec so the nesting is identical for any execution order."""
+    out: Dict[str, Dict[str, BenchRun]] = {}
+    for spec, run in zip(specs, runs):
+        out.setdefault(spec.bench, {})[spec.config] = run
+    return out
+
+
 def run_static_suite(cfg: MachineConfig = PAPER_MACHINE,
                      size: str = "bench",
                      benchmarks=STATIC_BENCHMARKS,
                      configs=("single", "double", "G0", "L1"),
                      verify: bool = True,
+                     context=None,
                      **machine_kw) -> Dict[str, Dict[str, BenchRun]]:
-    """All Figure-2/3 runs: {bench: {config: BenchRun}}."""
-    out: Dict[str, Dict[str, BenchRun]] = {}
-    for b in benchmarks:
-        out[b] = {}
-        for c in configs:
-            out[b][c] = run_benchmark(b, c, cfg=cfg, size=size,
-                                      verify=verify, **machine_kw)
-    return out
+    """All Figure-2/3 runs: {bench: {config: BenchRun}}.
+
+    ``context`` selects how the independent runs execute (default
+    :class:`~repro.harness.exec.SerialContext`); pass a
+    :class:`~repro.harness.exec.ProcessPoolContext` to fan them out.
+    Results are bit-identical either way."""
+    from .exec import SerialContext, static_specs
+    specs = static_specs(cfg, size, benchmarks, configs, verify=verify,
+                         **machine_kw)
+    runs = (context or SerialContext()).run(specs)
+    return _merge_suite(specs, runs)
 
 
 def run_dynamic_suite(cfg: MachineConfig = PAPER_MACHINE,
@@ -133,18 +148,13 @@ def run_dynamic_suite(cfg: MachineConfig = PAPER_MACHINE,
                       benchmarks=DYNAMIC_BENCHMARKS,
                       configs=("single", "G0"),
                       verify: bool = True,
+                      context=None,
                       **machine_kw) -> Dict[str, Dict[str, BenchRun]]:
     """All Figure-4/5 runs.  §5.2: comparison against one task/CMP only,
     zero-token-global synchronization only (scheduling points make any
     looser policy converge to G0)."""
-    out: Dict[str, Dict[str, BenchRun]] = {}
-    for b in benchmarks:
-        chunk = dynamic_chunk(b, cfg, size)
-        sched = ("dynamic", chunk)
-        params = DYNAMIC_PARAMS.get(b) if size == "bench" else None
-        out[b] = {}
-        for c in configs:
-            out[b][c] = run_benchmark(b, c, cfg=cfg, size=size,
-                                      schedule=sched, verify=verify,
-                                      params=params, **machine_kw)
-    return out
+    from .exec import SerialContext, dynamic_specs
+    specs = dynamic_specs(cfg, size, benchmarks, configs, verify=verify,
+                          **machine_kw)
+    runs = (context or SerialContext()).run(specs)
+    return _merge_suite(specs, runs)

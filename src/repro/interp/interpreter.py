@@ -38,47 +38,83 @@ def _as_bool(v) -> bool:
     return bool(v)
 
 
-def _binop(op: str, a, b):
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if isinstance(a, int) and isinstance(b, int):
-            if b == 0:                               # integer /0 traps
-                raise VMError("integer division by zero")
-            q = abs(a) // abs(b)
-            return q if (a >= 0) == (b >= 0) else -q  # C truncation
+# Binary operators as standalone functions, so the translator can embed
+# the resolved function directly in an instruction and the hot loop
+# skips the per-execution operator dispatch entirely.
+
+def _op_add(a, b):
+    return a + b
+
+
+def _op_sub(a, b):
+    return a - b
+
+
+def _op_mul(a, b):
+    return a * b
+
+
+def _op_div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:                               # integer /0 traps
+            raise VMError("integer division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q  # C truncation
+    if b == 0:
+        # IEEE-754 / C semantics: float division by zero yields an
+        # infinity (or NaN for 0/0), it does not trap.  A-streams
+        # routinely divide by stale zeros; real hardware shrugs.
+        if a == 0:
+            return math.nan
+        return math.inf if a > 0 else -math.inf   # b is +0.0 here
+    return a / b
+
+
+def _op_mod(a, b):
+    if isinstance(a, int) and isinstance(b, int):
         if b == 0:
-            # IEEE-754 / C semantics: float division by zero yields an
-            # infinity (or NaN for 0/0), it does not trap.  A-streams
-            # routinely divide by stale zeros; real hardware shrugs.
-            if a == 0:
-                return math.nan
-            return math.inf if a > 0 else -math.inf   # b is +0.0 here
-        return a / b
-    if op == "%":
-        if isinstance(a, int) and isinstance(b, int):
-            if b == 0:
-                raise VMError("integer modulo by zero")
-            r = abs(a) % abs(b)
-            return r if a >= 0 else -r                # C remainder
-        return math.fmod(a, b) if b != 0 else math.nan
-    if op == "<":
-        return 1 if a < b else 0
-    if op == "<=":
-        return 1 if a <= b else 0
-    if op == ">":
-        return 1 if a > b else 0
-    if op == ">=":
-        return 1 if a >= b else 0
-    if op == "==":
-        return 1 if a == b else 0
-    if op == "!=":
-        return 1 if a != b else 0
-    raise VMError(f"unknown binop {op!r}")
+            raise VMError("integer modulo by zero")
+        r = abs(a) % abs(b)
+        return r if a >= 0 else -r                # C remainder
+    return math.fmod(a, b) if b != 0 else math.nan
+
+
+def _op_lt(a, b):
+    return 1 if a < b else 0
+
+
+def _op_le(a, b):
+    return 1 if a <= b else 0
+
+
+def _op_gt(a, b):
+    return 1 if a > b else 0
+
+
+def _op_ge(a, b):
+    return 1 if a >= b else 0
+
+
+def _op_eq(a, b):
+    return 1 if a == b else 0
+
+
+def _op_ne(a, b):
+    return 1 if a != b else 0
+
+
+_BINOP_FN = {
+    "+": _op_add, "-": _op_sub, "*": _op_mul, "/": _op_div, "%": _op_mod,
+    "<": _op_lt, "<=": _op_le, ">": _op_gt, ">=": _op_ge,
+    "==": _op_eq, "!=": _op_ne,
+}
+
+
+def _binop(op: str, a, b):
+    fn = _BINOP_FN.get(op)
+    if fn is None:
+        raise VMError(f"unknown binop {op!r}")
+    return fn(a, b)
 
 
 def _sqrt(a):
@@ -113,9 +149,67 @@ _INTRINSICS = {
     "pow": _pow,
     "min": lambda a, b: a if a < b else b,
     "max": lambda a, b: a if a > b else b,
-    "mod": lambda a, b: _binop("%", a, b),
+    "mod": _op_mod,
     "floor": lambda a: math.floor(a),
 }
+
+
+# ------------------------------------------------------- dispatch table
+#
+# The VM's inner loop dispatches on small integers over a pre-translated
+# instruction stream instead of comparing opcode strings and looking up
+# cost tables on every executed instruction.  Translation runs once per
+# Code object (cached on the object), folds each instruction's full
+# static cycle cost into the tuple -- OP_COST plus the per-operator
+# BINOP_COST / per-intrinsic ICALL_COST -- and pre-resolves binop and
+# intrinsic callables, so the accounted cycles are identical to the
+# string-dispatch interpreter by construction.
+
+(_N_LLOAD, _N_LSTORE, _N_CONST, _N_BINOP, _N_JUMP, _N_JFALSE,
+ _N_GELOAD, _N_GESTORE, _N_GLOAD, _N_GSTORE, _N_ALOAD, _N_ASTORE,
+ _N_NEG, _N_NOT, _N_DUP, _N_POP, _N_JNONE, _N_UNPACK2,
+ _N_ICALL1, _N_ICALL2, _N_CALL, _N_RET, _N_RT, _N_PRINT) = range(24)
+
+_SIMPLE_NUM = {
+    "lload": _N_LLOAD, "lstore": _N_LSTORE, "const": _N_CONST,
+    "jump": _N_JUMP, "jfalse": _N_JFALSE,
+    "geload": _N_GELOAD, "gestore": _N_GESTORE,
+    "gload": _N_GLOAD, "gstore": _N_GSTORE,
+    "aload": _N_ALOAD, "astore": _N_ASTORE,
+    "dup": _N_DUP, "pop": _N_POP, "jnone": _N_JNONE,
+    "unpack2": _N_UNPACK2, "call": _N_CALL, "ret": _N_RET,
+    "rt": _N_RT, "print": _N_PRINT,
+}
+
+
+def _translate(code: Code) -> List[Tuple]:
+    """Build (and cache on ``code``) the fast instruction stream:
+    one ``(opnum, arg, cost)`` tuple per bytecode instruction."""
+    fast: List[Tuple] = []
+    for ins in code.instrs:
+        op = ins[0]
+        if op == "binop":
+            o = ins[1]
+            fn = _BINOP_FN.get(o)
+            if fn is None:
+                raise VMError(f"unknown binop {o!r}")
+            fast.append((_N_BINOP, fn, OP_COST[op] + BINOP_COST.get(o, 0)))
+        elif op == "icall":
+            name, nargs = ins[1]
+            fast.append((_N_ICALL1 if nargs == 1 else _N_ICALL2,
+                         _INTRINSICS[name],
+                         OP_COST[op] + ICALL_COST.get(name, 1)))
+        elif op == "unop":
+            fast.append((_N_NEG if ins[1] == "-" else _N_NOT, None,
+                         OP_COST[op]))
+        else:
+            num = _SIMPLE_NUM.get(op)
+            if num is None:
+                raise VMError(f"unknown opcode {op!r}")
+            fast.append((num, ins[1] if len(ins) > 1 else None,
+                         OP_COST[op]))
+    code._fast = fast
+    return fast
 
 
 class Frame:
@@ -202,59 +296,76 @@ class VM:
     # ----------------------------------------------------------- execution
 
     def run(self):
-        """Execute until the next event and return it."""
+        """Execute until the next event and return it.
+
+        Dispatches on pre-translated ``(opnum, arg, cost)`` tuples (see
+        :func:`_translate`); cycle accounting is bit-identical to the
+        original string-dispatch loop because every instruction's full
+        static cost is folded into its tuple at translation time.
+        """
         if self.done:
             return Done(self.result)
         if self._pending_push:
             raise VMError("event result was never pushed")
-        cost = OP_COST
         budget = self.MAX_SLICE
+        frames = self.frames
+        fast_read = self.fast_read
+        fast_write = self.fast_write
         while True:
-            frame = self.frames[-1]
-            instrs = frame.code.instrs
+            frame = frames[-1]
+            code = frame.code
+            try:
+                fi = code._fast
+            except AttributeError:
+                fi = _translate(code)
             stack = frame.stack
             locs = frame.locals
             pc = frame.pc
             cycles = 0.0
             try:
                 while True:
-                    ins = instrs[pc]
-                    op = ins[0]
-                    cycles += cost[op]
-                    if op == "lload":
-                        stack.append(locs[ins[1]])
+                    num, arg, cost = fi[pc]
+                    cycles += cost
+                    if num == _N_LLOAD:
+                        stack.append(locs[arg])
                         pc += 1
-                    elif op == "lstore":
-                        locs[ins[1]] = stack.pop()
+                    elif num == _N_CONST:
+                        stack.append(arg)
                         pc += 1
-                    elif op == "const":
-                        stack.append(ins[1])
-                        pc += 1
-                    elif op == "binop":
-                        o = ins[1]
+                    elif num == _N_BINOP:
                         b = stack.pop()
                         a = stack.pop()
-                        stack.append(_binop(o, a, b))
-                        cycles += BINOP_COST.get(o, 0)
+                        stack.append(arg(a, b))
                         pc += 1
-                    elif op == "jump":
-                        t = ins[1]
-                        if t < pc:
+                    elif num == _N_LSTORE:
+                        locs[arg] = stack.pop()
+                        pc += 1
+                    elif num == _N_ALOAD:
+                        flat = stack.pop()
+                        stack.append(locs[arg][flat].item())
+                        pc += 1
+                    elif num == _N_ASTORE:
+                        v = stack.pop()
+                        flat = stack.pop()
+                        locs[arg][flat] = v
+                        pc += 1
+                    elif num == _N_JUMP:
+                        if arg < pc:
                             # Backward jump: loop boundary.  Enforce the
                             # slice budget here so spin loops served by
                             # the fast path still yield simulated time.
                             budget -= 1
                             if budget <= 0:
-                                frame.pc = t
+                                frame.pc = arg
                                 self.pending_cycles += cycles
                                 return TimeSlice()
-                        pc = t
-                    elif op == "jfalse":
-                        pc = ins[1] if not stack.pop() else pc + 1
-                    elif op == "geload":
+                        pc = arg
+                    elif num == _N_JFALSE:
+                        pc = arg if not stack.pop() else pc + 1
+                    elif num == _N_GELOAD:
                         flat = stack.pop()
-                        if self.fast_read is not None:
-                            v = self.fast_read(ins[1], flat)
+                        if fast_read is not None:
+                            v = fast_read(arg, flat)
                             if v is not _MISS:
                                 stack.append(v)
                                 pc += 1
@@ -262,20 +373,20 @@ class VM:
                         frame.pc = pc + 1
                         self.pending_cycles += cycles
                         self._pending_push = True
-                        return MemRead(ins[1], flat)
-                    elif op == "gestore":
+                        return MemRead(arg, flat)
+                    elif num == _N_GESTORE:
                         v = stack.pop()
                         flat = stack.pop()
-                        if self.fast_write is not None and \
-                                self.fast_write(ins[1], flat, v):
+                        if fast_write is not None and \
+                                fast_write(arg, flat, v):
                             pc += 1
                             continue
                         frame.pc = pc + 1
                         self.pending_cycles += cycles
-                        return MemWrite(ins[1], flat, v)
-                    elif op == "gload":
-                        if self.fast_read is not None:
-                            v = self.fast_read(ins[1], 0)
+                        return MemWrite(arg, flat, v)
+                    elif num == _N_GLOAD:
+                        if fast_read is not None:
+                            v = fast_read(arg, 0)
                             if v is not _MISS:
                                 stack.append(v)
                                 pc += 1
@@ -283,77 +394,67 @@ class VM:
                         frame.pc = pc + 1
                         self.pending_cycles += cycles
                         self._pending_push = True
-                        return MemRead(ins[1], 0)
-                    elif op == "gstore":
+                        return MemRead(arg, 0)
+                    elif num == _N_GSTORE:
                         v = stack.pop()
-                        if self.fast_write is not None and \
-                                self.fast_write(ins[1], 0, v):
+                        if fast_write is not None and \
+                                fast_write(arg, 0, v):
                             pc += 1
                             continue
                         frame.pc = pc + 1
                         self.pending_cycles += cycles
-                        return MemWrite(ins[1], 0, v)
-                    elif op == "aload":
-                        flat = stack.pop()
-                        stack.append(locs[ins[1]][flat].item())
+                        return MemWrite(arg, 0, v)
+                    elif num == _N_NEG:
+                        stack[-1] = -stack[-1]
                         pc += 1
-                    elif op == "astore":
-                        v = stack.pop()
-                        flat = stack.pop()
-                        locs[ins[1]][flat] = v
+                    elif num == _N_NOT:
+                        stack[-1] = 0 if stack[-1] else 1
                         pc += 1
-                    elif op == "unop":
-                        a = stack.pop()
-                        stack.append(-a if ins[1] == "-"
-                                     else (0 if a else 1))
-                        pc += 1
-                    elif op == "dup":
+                    elif num == _N_DUP:
                         stack.append(stack[-1])
                         pc += 1
-                    elif op == "pop":
+                    elif num == _N_POP:
                         stack.pop()
                         pc += 1
-                    elif op == "jnone":
+                    elif num == _N_JNONE:
                         if stack[-1] is None:
                             stack.pop()
-                            pc = ins[1]
+                            pc = arg
                         else:
                             pc += 1
-                    elif op == "unpack2":
+                    elif num == _N_UNPACK2:
                         a, b = stack.pop()
                         stack.append(a)
                         stack.append(b)
                         pc += 1
-                    elif op == "icall":
-                        name, nargs = ins[1]
-                        cycles += ICALL_COST.get(name, 1)
-                        if nargs == 1:
-                            stack.append(_INTRINSICS[name](stack.pop()))
-                        else:
-                            b = stack.pop()
-                            a = stack.pop()
-                            stack.append(_INTRINSICS[name](a, b))
+                    elif num == _N_ICALL1:
+                        stack.append(arg(stack.pop()))
                         pc += 1
-                    elif op == "call":
-                        fidx, nargs = ins[1]
+                    elif num == _N_ICALL2:
+                        b = stack.pop()
+                        a = stack.pop()
+                        stack.append(arg(a, b))
+                        pc += 1
+                    elif num == _N_CALL:
+                        fidx, nargs = arg
                         args = tuple(stack[len(stack) - nargs:])
                         del stack[len(stack) - nargs:]
                         frame.pc = pc + 1
                         nf = Frame(fidx, self.program.funcs[fidx], args)
-                        self.frames.append(nf)
+                        frames.append(nf)
                         break           # switch to the new frame
-                    elif op == "ret":
+                    elif num == _N_RET:
                         rv = stack.pop() if stack else 0
-                        self.frames.pop()
-                        if not self.frames:
+                        frames.pop()
+                        if not frames:
                             self.done = True
                             self.result = rv
                             self.pending_cycles += cycles
                             return Done(rv)
-                        self.frames[-1].stack.append(rv)
+                        frames[-1].stack.append(rv)
                         break           # back to the caller's frame
-                    elif op == "rt":
-                        name, static, nargs = ins[1]
+                    elif num == _N_RT:
+                        name, static, nargs = arg
                         if nargs:
                             args = tuple(stack[len(stack) - nargs:])
                             del stack[len(stack) - nargs:]
@@ -362,18 +463,18 @@ class VM:
                         frame.pc = pc + 1
                         self.pending_cycles += cycles + 1
                         return RtCall(name, static, args)
-                    elif op == "print":
-                        nargs = ins[1]
-                        vals = tuple(stack[len(stack) - nargs:])
-                        del stack[len(stack) - nargs:]
+                    elif num == _N_PRINT:
+                        vals = tuple(stack[len(stack) - arg:])
+                        del stack[len(stack) - arg:]
                         frame.pc = pc + 1
                         self.pending_cycles += cycles + 1
                         return IoOut(vals)
                     else:
-                        raise VMError(f"unknown opcode {op!r}")
+                        raise VMError(f"unknown opcode number {num!r}")
             except IndexError:
+                instrs = code.instrs
                 raise VMError(
-                    f"VM fault in {frame.code.name} at pc={pc}: "
+                    f"VM fault in {code.name} at pc={pc}: "
                     f"{instrs[pc] if pc < len(instrs) else 'pc out of range'}"
                 ) from None
             self.pending_cycles += cycles

@@ -8,7 +8,7 @@ metadata used for the paper's Figures 3 and 5).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..config.machine import CacheConfig
 
@@ -70,7 +70,13 @@ class Cache:
         self.cfg = cfg
         self.name = name
         self.on_evict = on_evict
-        self._sets: List[List[CacheLine]] = [[] for _ in range(cfg.num_sets)]
+        # Per-set tag index: line_addr -> CacheLine.  Python dicts
+        # preserve insertion order, so the dict doubles as the LRU
+        # chain (first key = LRU victim, delete+reinsert = touch) while
+        # making the tag match O(1) instead of an O(ways) scan on every
+        # L1/L2 access -- the hottest lookup in the simulator.
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(cfg.num_sets)]
         self._set_mask = cfg.num_sets - 1
         self._line_shift = cfg.line_bytes.bit_length() - 1
         # statistics
@@ -93,23 +99,28 @@ class Cache:
     def lookup(self, addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line containing ``addr`` (or None),
         updating LRU order and hit/miss counters."""
-        la = self.line_addr(addr)
-        s = self._sets[self._set_index(la)]
-        for i, line in enumerate(s):
-            if line.line_addr == la and line.state != MESIState.INVALID:
-                if touch and i != len(s) - 1:
-                    s.append(s.pop(i))
-                self.hits += 1
-                return line
+        shift = self._line_shift
+        la = addr >> shift << shift
+        s = self._sets[(la >> shift) & self._set_mask]
+        line = s.get(la)
+        if line is not None and line.state != MESIState.INVALID:
+            if touch:
+                # Delete + reinsert moves the key to the MRU (last)
+                # position of the set's insertion-ordered dict.
+                del s[la]
+                s[la] = line
+            self.hits += 1
+            return line
         self.misses += 1
         return None
 
     def peek(self, addr: int) -> Optional[CacheLine]:
         """lookup() without statistics or LRU side effects."""
-        la = self.line_addr(addr)
-        for line in self._sets[self._set_index(la)]:
-            if line.line_addr == la and line.state != MESIState.INVALID:
-                return line
+        shift = self._line_shift
+        la = addr >> shift << shift
+        line = self._sets[(la >> shift) & self._set_mask].get(la)
+        if line is not None and line.state != MESIState.INVALID:
+            return line
         return None
 
     def insert(self, addr: int, state: int) -> CacheLine:
@@ -117,29 +128,29 @@ class Cache:
         and return it.  If the line is already resident its state is
         upgraded instead."""
         la = self.line_addr(addr)
-        existing = self.peek(la)
-        if existing is not None:
+        s = self._sets[self._set_index(la)]
+        existing = s.get(la)
+        if existing is not None and existing.state != MESIState.INVALID:
             existing.state = max(existing.state, state)
             return existing
-        s = self._sets[self._set_index(la)]
         if len(s) >= self.cfg.assoc:
-            victim = s.pop(0)
+            victim = s.pop(next(iter(s)))     # first key = LRU
             self.evictions += 1
             if self.on_evict is not None:
                 self.on_evict(victim)
         line = CacheLine(la, state)
-        s.append(line)
+        s[la] = line
         return line
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Remove the line containing ``addr``; returns it if present."""
         la = self.line_addr(addr)
         s = self._sets[self._set_index(la)]
-        for i, line in enumerate(s):
-            if line.line_addr == la and line.state != MESIState.INVALID:
-                s.pop(i)
-                self.invalidations += 1
-                return line
+        line = s.get(la)
+        if line is not None and line.state != MESIState.INVALID:
+            del s[la]
+            self.invalidations += 1
+            return line
         return None
 
     def downgrade(self, addr: int) -> Optional[CacheLine]:
@@ -153,7 +164,7 @@ class Cache:
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over all resident lines."""
         for s in self._sets:
-            yield from s
+            yield from s.values()
 
     def resident_count(self) -> int:
         """Number of valid resident lines."""

@@ -6,10 +6,14 @@ under dynamic scheduling.
 """
 
 from . import bt, cg, ep, lu, mg, sp      # noqa: F401  (registration)
+from .cache import (COMPILE_CACHE, CompileCache, cache_stats, clear_cache,
+                    compiler_fingerprint)
 from .common import REGISTRY, KernelSpec
 
 #: The paper's Table-2 suite (EP excluded).
 PAPER_SUITE = ("bt", "cg", "lu", "mg", "sp")
 
 __all__ = ["REGISTRY", "KernelSpec", "PAPER_SUITE",
+           "COMPILE_CACHE", "CompileCache", "cache_stats", "clear_cache",
+           "compiler_fingerprint",
            "bt", "cg", "ep", "lu", "mg", "sp"]

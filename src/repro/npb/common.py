@@ -38,10 +38,18 @@ class KernelSpec:
     rtol: float = 1e-9
 
     def compile(self, size: str = "test", **overrides) -> CompiledProgram:
-        """Compile this kernel at a size class (with overrides)."""
+        """Compile this kernel at a size class (with overrides).
+
+        Served through the content-addressed compile cache: the key is
+        the generated source (which embeds every parameter) plus the
+        compiler fingerprint, so a sweep compiles each distinct
+        (bench, size, params) point once per process -- and once per
+        machine when the disk layer is enabled.
+        """
         params = dict(self.sizes[size])
         params.update(overrides)
-        return compile_source(self.source(**params))
+        from .cache import COMPILE_CACHE
+        return COMPILE_CACHE.get_or_compile(self.source(**params))
 
     def params(self, size: str = "test", **overrides) -> Dict[str, int]:
         """Resolved size-class parameters (with overrides)."""

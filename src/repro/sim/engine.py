@@ -43,13 +43,15 @@ class SimEvent:
     value as the result of its ``yield``.
     """
 
-    __slots__ = ("engine", "fired", "value", "_waiters", "name")
+    __slots__ = ("engine", "fired", "value", "_waiters", "_callbacks",
+                 "name")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
         self.fired = False
         self.value: Any = None
         self._waiters: list["Process"] = []
+        self._callbacks: Optional[list] = None
         self.name = name
 
     def fire(self, value: Any = None, delay: float = 0.0) -> None:
@@ -58,9 +60,29 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} fired twice")
         self.fired = True
         self.value = value
+        schedule = self.engine._schedule
         for proc in self._waiters:
-            self.engine._schedule(proc, delay, value)
+            schedule(proc, delay, value)
         self._waiters.clear()
+        if self._callbacks:
+            callbacks, self._callbacks = self._callbacks, None
+            for cb in callbacks:
+                cb(value, delay)
+
+    def add_callback(self, cb: Callable[[Any, float], None]) -> None:
+        """Invoke ``cb(value, delay)`` synchronously when this event
+        fires (after its waiting processes have been scheduled).
+
+        Unlike a waiting process, a callback costs no queue turn --
+        this is what lets :meth:`Engine.all_of` track N events without
+        spawning N watcher processes.  On an already-fired event the
+        callback runs immediately."""
+        if self.fired:
+            cb(self.value, 0.0)
+        elif self._callbacks is None:
+            self._callbacks = [cb]
+        else:
+            self._callbacks.append(cb)
 
     def _subscribe(self, proc: "Process") -> None:
         if self.fired:
@@ -168,11 +190,13 @@ class Engine:
 
     # -- process management -------------------------------------------------
 
-    def process(self, gen: Generator, name: str = "") -> Process:
-        """Register a generator as a process, starting at the current time."""
+    def process(self, gen: Generator, name: str = "",
+                delay: float = 0.0) -> Process:
+        """Register a generator as a process, starting ``delay`` time
+        units from now (default: the current time)."""
         proc = Process(self, gen, name=name or f"proc{self._nprocs}")
         self._nprocs += 1
-        self._schedule(proc, 0.0, None)
+        self._schedule(proc, delay, None)
         return proc
 
     def event(self, name: str = "") -> SimEvent:
@@ -183,44 +207,56 @@ class Engine:
                       name: str = "") -> SimEvent:
         """An event that fires by itself ``delay`` from now."""
         evt = SimEvent(self, name=name)
-        evt.fired = True  # reserve; emulate by scheduling a firing shim
-        evt.fired = False
-        shim = self.process(_fire_later(evt, delay, value), name=f"timer:{name}")
-        del shim
+        self.process(_fire_later(evt, delay, value), name=f"timer:{name}")
         return evt
 
     def all_of(self, events: Iterable[SimEvent], name: str = "") -> SimEvent:
-        """Event that fires once every input event has fired."""
+        """Event that fires once every input event has fired.
+
+        Tracked with direct subscriber callbacks -- O(1) bookkeeping
+        per input event instead of one watcher process each.  Fire
+        ordering is preserved: when the last input fires, a single shim
+        process is scheduled at that firing's resume time (exactly
+        where the last watcher's resumption used to sit in the queue),
+        and the output event fires when it runs."""
         events = list(events)
         out = self.event(name=name or "all_of")
         pending = [e for e in events if not e.fired]
         if not pending:
             out.fire([e.value for e in events])
             return out
-        remaining = {"n": len(pending)}
+        remaining = [len(pending)]
 
-        def watcher(evt):
-            yield evt
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                out.fire([e.value for e in events])
+        def on_fire(_value, delay):
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self.process(
+                    _fire_later(out, 0.0, [e.value for e in events]),
+                    name="all_of.fire", delay=delay)
 
         for e in pending:
-            self.process(watcher(e), name="all_of.watch")
+            e.add_callback(on_fire)
         return out
 
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, proc: Process, delay: float, value: Any) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, proc, value))
+        # Innermost write of the whole simulator; keep it to one
+        # attribute store + one heap push.
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, (self.now + delay, seq, proc, value))
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Run one resumption.  Returns False when the queue is empty."""
-        while self._queue:
-            t, _seq, proc, value = heapq.heappop(self._queue)
+        # Hot path: bound methods/attributes are re-read on every
+        # resumption by the naive spelling; hoist them out of the
+        # dead-process skip loop.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            t, _seq, proc, value = pop(queue)
             if not proc.alive:
                 continue
             self.now = t
@@ -234,9 +270,22 @@ class Engine:
             max_steps: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_steps``
         resumptions executed.  Returns the final clock value."""
+        queue = self._queue
+        if until is None and max_steps is None:
+            # Unbounded drain: no per-step limit checks needed.
+            pop = heapq.heappop
+            while queue:
+                t, _seq, proc, value = pop(queue)
+                if not proc.alive:
+                    continue
+                self.now = t
+                if self.trace_hook is not None:
+                    self.trace_hook(t, proc)
+                proc._step(value)
+            return self.now
         steps = 0
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self.now = until
                 break
             if max_steps is not None and steps >= max_steps:

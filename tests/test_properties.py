@@ -35,9 +35,9 @@ def test_cache_capacity_invariant(addrs):
     assert c.resident_count() <= cfg.num_lines
     for s in c._sets:
         assert len(s) <= cfg.assoc
-        # no duplicate tags in a set
-        tags = [l.line_addr for l in s]
-        assert len(tags) == len(set(tags))
+        # tag-index keys agree with the lines they map to (the dict
+        # representation makes duplicate tags impossible by design)
+        assert all(k == line.line_addr for k, line in s.items())
 
 
 @given(st.lists(addr_strategy, min_size=1, max_size=200))

@@ -248,3 +248,69 @@ def test_timeout_event_fires_by_itself():
     eng.process(w())
     eng.run()
     assert seen == ["tick"] and eng.now == 6.0
+
+
+def test_event_callback_runs_at_fire_time():
+    eng = Engine()
+    evt = eng.event()
+    seen = []
+    evt.add_callback(lambda value, delay: seen.append((value, delay)))
+
+    def firer():
+        yield 5
+        evt.fire("v", delay=2.0)
+
+    eng.process(firer())
+    eng.run()
+    assert seen == [("v", 2.0)]
+
+
+def test_event_callback_on_fired_event_runs_immediately():
+    eng = Engine()
+    evt = eng.event()
+    evt.fire(42)
+    seen = []
+    evt.add_callback(lambda value, delay: seen.append(value))
+    assert seen == [42]
+
+
+def test_all_of_fires_after_waiters_of_last_event():
+    # The combined event must not fire before processes waiting on the
+    # last input event have been scheduled (fire-ordering guarantee of
+    # the callback-based implementation).
+    eng = Engine()
+    e1, e2 = eng.event(), eng.event()
+    order = []
+
+    def waiter(evt, tag):
+        yield evt
+        order.append(tag)
+
+    def firer():
+        yield 1
+        e1.fire("a")
+        yield 1
+        e2.fire("b")
+
+    eng.process(waiter(e2, "direct"))     # subscribes before all_of
+    combined = eng.all_of([e1, e2])
+    eng.process(waiter(combined, "combined"))
+    eng.process(firer())
+    eng.run()
+    assert order == ["direct", "combined"]
+    assert combined.value == ["a", "b"]
+
+
+def test_all_of_spawns_no_watcher_processes():
+    # The barrier must track N events with O(1) bookkeeping each, not
+    # one watcher process per event (the old design).
+    eng = Engine()
+    events = [eng.event() for _ in range(8)]
+    before = eng._nprocs
+    combined = eng.all_of(events)
+    assert eng._nprocs == before          # no processes until completion
+    for i, e in enumerate(events):
+        e.fire(i)
+    eng.run()
+    assert combined.fired and combined.value == list(range(8))
+    assert eng._nprocs == before + 1      # just the single firing shim
