@@ -20,6 +20,7 @@ import platform
 import time
 
 from conftest import bench_cfg, bench_size, publish
+from repro.config import PAPER_MACHINE
 from repro.harness import (ProcessPoolContext, SerialContext,
                            render_table)
 from repro.harness.exec import static_specs
@@ -107,3 +108,54 @@ def test_parallel_runner_baseline(once):
     # pool speedup are only meaningful with real cores to fan out on.
     if (os.cpu_count() or 1) >= 4:
         assert data["pool_speedup_vs_serial"] > 1.5
+
+
+# --------------------------------------------------- observability cost
+
+def _measure_null_overhead():
+    """Wall-clock of the test-size static sweep with observability off
+    (NullSink) vs the default AggregateSink, warm compile cache,
+    best-of-3 interleaved so cache/scheduler drift hits both arms."""
+    cfg = PAPER_MACHINE.with_(n_cmps=4)
+    kw = dict(cfg=cfg, size="test", benchmarks=SMOKE_BENCHMARKS,
+              configs=SMOKE_CONFIGS)
+    agg = static_specs(kw["cfg"], kw["size"], kw["benchmarks"],
+                       kw["configs"])
+    null = static_specs(kw["cfg"], kw["size"], kw["benchmarks"],
+                        kw["configs"], obs="null")
+    ctx = SerialContext()
+    baseline = ctx.run(agg)              # also warms the compile cache
+    agg_s, null_s = [], []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        ctx.run(agg)
+        agg_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        runs = ctx.run(null)
+        null_s.append(time.perf_counter() - t0)
+    assert [r.cycles for r in runs] == [r.cycles for r in baseline]
+    return {
+        "sweep": {"benchmarks": SMOKE_BENCHMARKS,
+                  "configs": SMOKE_CONFIGS, "size": "test", "n_cmps": 4},
+        "aggregate_s": round(min(agg_s), 3),
+        "null_s": round(min(null_s), 3),
+        "null_over_aggregate": round(min(null_s) / min(agg_s), 4),
+    }
+
+
+def test_null_sink_overhead(once):
+    data = once(_measure_null_overhead)
+    if BASELINE_PATH.exists():           # fold into the shared baseline
+        merged = json.loads(BASELINE_PATH.read_text())
+        merged["null_sink"] = data
+        BASELINE_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    publish("null_sink_overhead", render_table(
+        ["sink", "wall s", "vs aggregate"],
+        [["aggregate (default)", f"{data['aggregate_s']:.2f}", "1.000"],
+         ["null (observability off)", f"{data['null_s']:.2f}",
+          f"{data['null_over_aggregate']:.3f}"]],
+        "observability-off cost, 8-run static sweep (test size, 4 CMPs)"))
+    # The off switch must actually be an off switch: disabling
+    # observability may not cost more than 2% over the default path
+    # (in practice it is faster -- no span/counter bookkeeping).
+    assert data["null_over_aggregate"] <= 1.02, data

@@ -59,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="print time breakdown and request classes")
     runp.add_argument("--selfinv", action="store_true",
                       help="enable slipstream self-invalidation")
+    runp.add_argument("--trace", metavar="OUT.json",
+                      help="write a Chrome trace-event timeline of the "
+                           "run (open in Perfetto / chrome://tracing)")
 
     comp = sub.add_parser("compile", help="compile only; report the image")
     comp.add_argument("file")
@@ -78,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run the suite's independent simulations on a "
                           "process pool of N workers (results are "
                           "bit-identical to -j 1; default serial)")
+    ben.add_argument("--trace", metavar="OUT.json",
+                     help="write a merged Chrome trace-event timeline "
+                          "(one process per benchmark run)")
     _machine_args(ben)
     return ap
 
@@ -100,6 +106,10 @@ def _cmd_run(args, out) -> int:
     source = open(args.file).read()
     image = compile_source(source)
     if args.mode == "functional":
+        if args.trace:
+            print("--trace requires a simulated mode "
+                  "(single/double/slipstream)", file=sys.stderr)
+            return 2
         runner = FunctionalRunner(image, inputs=args.inputs).run()
         for row in runner.output:
             print(*row, file=out)
@@ -107,9 +117,15 @@ def _cmd_run(args, out) -> int:
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
     result = run_program(image, cfg=cfg, mode=args.mode,
                          env=_env_from_args(args), inputs=args.inputs,
-                         selfinv=args.selfinv)
+                         selfinv=args.selfinv,
+                         obs="trace" if args.trace else "aggregate")
     for row in result.output:
         print(*row, file=out)
+    if args.trace:
+        from .obs import write_trace
+        write_trace(args.trace, result.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(result.trace)} events)", file=out)
     print(f"[{args.mode}] {result.cycles:,.0f} cycles on {args.cmps} CMPs",
           file=out)
     if args.stats:
@@ -173,11 +189,22 @@ def _cmd_bench(args, out) -> int:
         return 2
     from .harness import make_context
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    kw = {"obs": "trace"} if args.trace else {}
     suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names,
-                             context=make_context(args.jobs))
+                             context=make_context(args.jobs), **kw)
     print(render_speedups(
         suite, title=f"mini-NPB ({args.size} size, {args.cmps} CMPs)"),
         file=out)
+    if args.trace:
+        from .obs import merge_traces, write_trace
+        items = [(f"{bench}:{cfg_name}", run.result.trace)
+                 for bench, runs in suite.items()
+                 for cfg_name, run in runs.items()
+                 if run.result.trace is not None]
+        merged = merge_traces(items)
+        write_trace(args.trace, merged)
+        print(f"trace written to {args.trace} ({len(merged)} events, "
+              f"{len(items)} runs)", file=out)
     return 0
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..mem.classify import ClassStats
+from ..obs import ClassStats
 from ..npb import REGISTRY
 from .runner import BenchRun
 

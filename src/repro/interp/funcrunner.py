@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..compiler.bytecode import CompiledProgram
+from ..obs.probe import NULL_PROBE, Probe
 from .events import Done, IoOut, MemRead, MemWrite, RtCall, TimeSlice
 from .interpreter import VM
 
@@ -59,7 +60,8 @@ class FunctionalRunner:
     """Single-threaded reference execution of a compiled image."""
 
     def __init__(self, program: CompiledProgram,
-                 inputs: Optional[List[float]] = None):
+                 inputs: Optional[List[float]] = None,
+                 probe: Probe = NULL_PROBE):
         self.program = program
         self.store = GlobalStore(program)
         self.output: List[Tuple] = []
@@ -67,11 +69,13 @@ class FunctionalRunner:
         self._input_pos = 0
         self._sched: Dict[int, List] = {}
         self._instructions = 0
+        self.probe = probe
 
     def run(self, max_events: int = 50_000_000):
         """Execute main() to completion; returns self for chaining."""
         vm = VM(self.program, self.program.main_index)
         self._run_vm(vm, max_events)
+        self.probe.count("func.events", self._instructions)
         return self
 
     def _run_vm(self, vm: VM, max_events: int) -> None:
@@ -96,6 +100,7 @@ class FunctionalRunner:
 
     def _rt(self, vm: VM, ev: RtCall, max_events: int) -> None:
         name = ev.name
+        self.probe.count("rt." + name)
         if name == "parallel_begin":
             pass                        # team of one: master does the work
         elif name == "parallel_end":

@@ -1,94 +1,12 @@
-"""Shared-data request classification (paper Figures 3 and 5).
+"""Compatibility shim: request classification lives in ``repro.obs``.
 
-Every L2 fill of a shared line is eventually assigned exactly one label:
-
-* ``A-Timely`` -- fetched by the A-stream, later referenced by the
-  R-stream after the fill completed;
-* ``A-Late``   -- the R-stream referenced the line while the A-stream's
-  miss was still in flight (MSHR merge);
-* ``A-Only``   -- evicted or invalidated without an R-stream reference
-  (the harmful, traffic-increasing category);
-
-and symmetrically ``R-Timely`` / ``R-Late`` / ``R-Only`` for fills
-initiated by the R-stream.  Reads and read-exclusives (stores /
-prefetch-exclusives) are classified separately, as in the paper.
+``ClassStats`` (the paper's Figure 3/5 Timely/Late/Only taxonomy) and
+its label constants moved to :mod:`repro.obs.aggregate` when all
+instrumentation was unified under the observability layer.  This module
+keeps the historical import path working; new code should import from
+:mod:`repro.obs`.
 """
 
-from __future__ import annotations
+from ..obs.aggregate import ClassStats, FETCHERS, KINDS, OUTCOMES, line_outcome
 
-from typing import Dict, Tuple
-
-__all__ = ["ClassStats", "OUTCOMES", "FETCHERS", "KINDS"]
-
-FETCHERS = ("A", "R")
-KINDS = ("read", "rdex")
-OUTCOMES = ("timely", "late", "only")
-
-
-class ClassStats:
-    """Counts of classified fills, keyed by (fetcher, kind, outcome)."""
-
-    def __init__(self):
-        self._c: Dict[Tuple[str, str, str], int] = {}
-
-    def record(self, fetcher: str, kind: str, outcome: str, n: int = 1) -> None:
-        """Count n fills of (fetcher, kind, outcome)."""
-        if fetcher not in FETCHERS or kind not in KINDS or outcome not in OUTCOMES:
-            raise ValueError(f"bad classification {(fetcher, kind, outcome)}")
-        key = (fetcher, kind, outcome)
-        self._c[key] = self._c.get(key, 0) + n
-
-    def classify_line(self, line) -> None:
-        """Finalize a CacheLine's fill at eviction/invalidation/teardown."""
-        if line.fetcher is None:
-            return
-        if line.merged_late:
-            outcome = "late"
-        elif line.sibling_hit:
-            outcome = "timely"
-        else:
-            outcome = "only"
-        self.record(line.fetcher, line.fill_kind, outcome)
-
-    # -- queries ---------------------------------------------------------------
-
-    def get(self, fetcher: str, kind: str, outcome: str) -> int:
-        """Count for one (fetcher, kind, outcome) cell."""
-        return self._c.get((fetcher, kind, outcome), 0)
-
-    def total(self, kind: str) -> int:
-        """All fills of one kind (read or rdex)."""
-        return sum(v for (f, k, o), v in self._c.items() if k == kind)
-
-    def fraction(self, fetcher: str, kind: str, outcome: str) -> float:
-        """Share of all ``kind`` fills, e.g. the paper's '26% A-timely
-        read requests'."""
-        tot = self.total(kind)
-        return self.get(fetcher, kind, outcome) / tot if tot else 0.0
-
-    def breakdown(self, kind: str) -> Dict[str, float]:
-        """{'A-Timely': 0.26, ...} over one request kind."""
-        tot = self.total(kind)
-        out = {}
-        for f in FETCHERS:
-            for o in OUTCOMES:
-                label = f"{f}-{o.capitalize()}"
-                out[label] = (self.get(f, kind, o) / tot) if tot else 0.0
-        return out
-
-    def coverage(self, kind: str) -> float:
-        """Fraction of fills provided by the A-stream and used by R
-        (timely + late) -- the paper's 'read exclusive coverage'."""
-        tot = self.total(kind)
-        if not tot:
-            return 0.0
-        return (self.get("A", kind, "timely") + self.get("A", kind, "late")) / tot
-
-    def merge(self, other: "ClassStats") -> None:
-        """Accumulate another collector's counts."""
-        for k, v in other._c.items():
-            self._c[k] = self._c.get(k, 0) + v
-
-    def as_dict(self) -> Dict[str, int]:
-        """Flat {'A-read-timely': n, ...} view."""
-        return {f"{f}-{k}-{o}": v for (f, k, o), v in sorted(self._c.items())}
+__all__ = ["ClassStats", "OUTCOMES", "FETCHERS", "KINDS", "line_outcome"]

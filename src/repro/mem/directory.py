@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from ..obs.probe import NULL_PROBE, Probe
 from ..sim import Engine, Mutex
 
 __all__ = ["DirEntry", "Directory", "DirState"]
@@ -51,8 +52,9 @@ class Directory:
     every access) but stored centrally for convenience.
     """
 
-    def __init__(self, engine: Engine):
+    def __init__(self, engine: Engine, probe: Probe = NULL_PROBE):
         self.engine = engine
+        self.probe = probe
         self._entries: Dict[int, DirEntry] = {}
         self._locks: Dict[int, Mutex] = {}
 
@@ -62,6 +64,7 @@ class Directory:
         if e is None:
             e = DirEntry()
             self._entries[line_addr] = e
+            self.probe.count("dir.lines")
         return e
 
     def lock(self, line_addr: int) -> Mutex:
@@ -70,6 +73,7 @@ class Directory:
         if m is None:
             m = Mutex(self.engine, f"dir:{line_addr:#x}")
             self._locks[line_addr] = m
+            self.probe.count("dir.locks")
         return m
 
     # -- state transitions (zero simulated time; timing is charged by the

@@ -24,11 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config.machine import MachineConfig
-from ..sim import Counter, Engine
+from ..obs import Counter, line_outcome, make_sink
+from ..obs.probe import NULL_PROBE, Probe
+from ..sim import Engine
 from ..sim.resources import Server
 from .address import Placement, SharedAllocator, is_shared_addr
 from .cache import Cache, CacheLine, MESIState
-from .classify import ClassStats
 from .directory import Directory, DirState
 
 __all__ = ["AccessResult", "NodeMemory", "CoherentMemorySystem",
@@ -65,7 +66,8 @@ class NodeMemory:
     """Per-CMP memory-side hardware: L1s, shared L2, NI, controllers."""
 
     def __init__(self, engine: Engine, cfg: MachineConfig, node_id: int,
-                 on_l2_evict):
+                 on_l2_evict, probe: Probe = NULL_PROBE,
+                 stats: Optional[Counter] = None):
         self.node_id = node_id
         self.l1s: List[Cache] = [
             Cache(cfg.l1, name=f"n{node_id}.l1[{c}]")
@@ -79,7 +81,10 @@ class NodeMemory:
         self.mshrs: Dict[int, _Mshr] = {}
         self.outstanding_prefetches = 0
         self.epoch = 0
-        self.stats = Counter()
+        self.probe = probe
+        # The sink's counter bag for this track: reads through
+        # ``nm.stats`` see everything ``nm.probe.count`` recorded.
+        self.stats = stats if stats is not None else Counter()
 
 
 class CoherentMemorySystem:
@@ -89,18 +94,22 @@ class CoherentMemorySystem:
     #: flight per node -- the paper's "no resource contention" condition.
     MAX_PREFETCHES = 8
 
-    def __init__(self, engine: Engine, cfg: MachineConfig):
+    def __init__(self, engine: Engine, cfg: MachineConfig, sink=None):
         self.engine = engine
         self.cfg = cfg
-        self.directory = Directory(engine)
+        self.obs = make_sink(sink)
+        self.probe = self.obs.probe("mem")
+        self.directory = Directory(engine, probe=self.probe)
         self.placement = Placement(cfg.placement, cfg.n_cmps, cfg.page_bytes)
         self.allocator = SharedAllocator()
-        self.classes = ClassStats()
         self.nodes: List[NodeMemory] = []
         for n in range(cfg.n_cmps):
+            track = f"mem:n{n}"
             self.nodes.append(NodeMemory(
                 engine, cfg, n,
-                on_l2_evict=self._make_evict_handler(n)))
+                on_l2_evict=self._make_evict_handler(n),
+                probe=self.obs.probe(track),
+                stats=self.obs.counter(track)))
         # cycle-denominated latency components
         self.c_bus = cfg.cycles(cfg.bus_time_ns)
         self.c_nil = cfg.cycles(cfg.ni_local_dc_time_ns)
@@ -114,6 +123,12 @@ class CoherentMemorySystem:
         #: job flags): they are timed like any shared line but excluded
         #: from the Figure-3/5 "shared data" classification.
         self.noclass_base: Optional[int] = None
+
+    @property
+    def classes(self):
+        """The run-wide Figure-3/5 classification collector (lives on
+        the sink, shared with every other producer of the run)."""
+        return self.obs.classes
 
     # ------------------------------------------------------------------ utils
 
@@ -143,7 +158,8 @@ class CoherentMemorySystem:
 
     def _finalize_line(self, line: CacheLine) -> None:
         if line.fetcher is not None:
-            self.classes.classify_line(line)
+            self.probe.classify(line.fetcher, line.fill_kind,
+                                line_outcome(line), self.engine.now)
             line.fetcher = None
 
     def _set_record(self, line: CacheLine, fetcher: str, kind: str,
@@ -187,8 +203,8 @@ class CoherentMemorySystem:
         line = nm.l2.lookup(addr)        # hit statistics + LRU touch
         self._touch(node, line, stream)
         nm.l1s[cpu].insert(self.line_addr(addr), MESIState.SHARED)
-        nm.stats.add("l2_hits")
-        nm.stats.add("loads")
+        nm.probe.count("l2_hits")
+        nm.probe.count("loads")
         return self.c_l2
 
     def try_fast_store(self, node: int, cpu: int, addr: int,
@@ -203,8 +219,8 @@ class CoherentMemorySystem:
         self._touch(node, line, stream)
         line.dirty = True
         self._store_update_l1s(nm, cpu, self.line_addr(addr))
-        nm.stats.add("l2_hits")
-        nm.stats.add("stores")
+        nm.probe.count("l2_hits")
+        nm.probe.count("stores")
         return self.c_l2
 
     def prefetch_would_fire(self, node: int, addr: int) -> bool:
@@ -225,7 +241,7 @@ class CoherentMemorySystem:
         """Generator: an L1-missing shared load.  Returns AccessResult."""
         assert is_shared_addr(addr), hex(addr)
         nm = self.nodes[node]
-        nm.stats.add("loads")
+        nm.probe.count("loads")
         la = self.line_addr(addr)
         start = self.engine.now
         while True:
@@ -234,14 +250,14 @@ class CoherentMemorySystem:
                 yield self.c_l2
                 self._touch(node, line, stream)
                 nm.l1s[cpu].insert(la, MESIState.SHARED)
-                nm.stats.add("l2_hits")
+                nm.probe.count("l2_hits")
                 return AccessResult("l2", self.engine.now - start)
             mshr = nm.mshrs.get(la)
             if mshr is not None:
                 # Merge onto the outstanding miss.
                 if stream != mshr.fetcher:
                     mshr.late = True
-                nm.stats.add("mshr_merges")
+                nm.probe.count("mshr_merges")
                 yield mshr.event
                 continue  # re-probe: the fill is now resident (usually)
             # Primary miss: run the GETS transaction.
@@ -250,14 +266,14 @@ class CoherentMemorySystem:
             if line is not None:
                 self._touch(node, line, stream)
             nm.l1s[cpu].insert(la, MESIState.SHARED)
-            nm.stats.add(level)
+            nm.probe.count(level)
             return AccessResult(level, self.engine.now - start)
 
     def store(self, node: int, cpu: int, addr: int, stream: str = "R"):
         """Generator: a shared store (write-through L1, allocate in L2)."""
         assert is_shared_addr(addr), hex(addr)
         nm = self.nodes[node]
-        nm.stats.add("stores")
+        nm.probe.count("stores")
         la = self.line_addr(addr)
         start = self.engine.now
         while True:
@@ -267,13 +283,13 @@ class CoherentMemorySystem:
                 self._touch(node, line, stream)
                 line.dirty = True
                 self._store_update_l1s(nm, cpu, la)
-                nm.stats.add("l2_hits")
+                nm.probe.count("l2_hits")
                 return AccessResult("l2", self.engine.now - start)
             mshr = nm.mshrs.get(la)
             if mshr is not None:
                 if stream != mshr.fetcher:
                     mshr.late = True
-                nm.stats.add("mshr_merges")
+                nm.probe.count("mshr_merges")
                 yield mshr.event
                 continue
             upgrade = line is not None  # resident SHARED: permission only
@@ -281,7 +297,7 @@ class CoherentMemorySystem:
                 self._touch(node, line, stream)
             level = yield from self._getx(node, la, stream, upgrade=upgrade)
             self._store_update_l1s(nm, cpu, la)
-            nm.stats.add(level)
+            nm.probe.count(level)
             return AccessResult(level, self.engine.now - start)
 
     def _store_update_l1s(self, nm: NodeMemory, cpu: int, la: int) -> None:
@@ -306,10 +322,11 @@ class CoherentMemorySystem:
         if la in nm.mshrs:
             return False
         if nm.outstanding_prefetches >= self.MAX_PREFETCHES:
-            nm.stats.add("prefetch_dropped")
+            nm.probe.count("prefetch_dropped")
             return False
         nm.outstanding_prefetches += 1
-        nm.stats.add("prefetch_ex")
+        nm.probe.count("prefetch_ex")
+        nm.probe.instant("coh.pfx", self.engine.now, {"addr": la})
 
         def body():
             try:
@@ -346,6 +363,8 @@ class CoherentMemorySystem:
         nm.mshrs[la] = mshr
         try:
             level = yield from self._gets_body(node, la, stream, nm, mshr)
+            nm.probe.instant("coh.gets", self.engine.now,
+                             {"addr": la, "level": level, "stream": stream})
             return level
         finally:
             # Runs on success AND on interruption (slipstream recovery can
@@ -406,6 +425,8 @@ class CoherentMemorySystem:
         try:
             level = yield from self._getx_body(node, la, stream, upgrade,
                                                nm, mshr)
+            nm.probe.instant("coh.getx", self.engine.now,
+                             {"addr": la, "level": level, "stream": stream})
             return level
         finally:
             if nm.mshrs.get(la) is mshr:
@@ -442,8 +463,8 @@ class CoherentMemorySystem:
                 sharers = self.directory.sharers_excluding(la, node)
                 acks = [self._spawn_inv(home, s, la) for s in sharers]
                 if sharers:
-                    nm.stats.add("inv_rounds")
-                    nm.stats.add("invs_sent", len(sharers))
+                    nm.probe.count("inv_rounds")
+                    nm.probe.count("invs_sent", len(sharers))
                 if not upgrade:
                     yield from self.nodes[home].mem.serve(self.c_mem)
                 if acks:
@@ -469,6 +490,8 @@ class CoherentMemorySystem:
             if sharer != home:
                 yield from self.nodes[sharer].ni_out.serve(self.c_nir)
                 yield self.c_net
+            self.nodes[sharer].probe.instant(
+                "coh.inv", self.engine.now, {"addr": la})
             ack.fire()
 
         self.engine.process(body(), name=f"inv:n{sharer}")
@@ -509,6 +532,9 @@ class CoherentMemorySystem:
             self.directory.drop_node(ln.line_addr, node)
             dropped += 1
         self.selfinv_drops += dropped
+        if dropped:
+            nm.probe.count("selfinv_drops", dropped)
+            nm.probe.instant("selfinv", self.engine.now, {"dropped": dropped})
         return dropped
 
     # ------------------------------------------------------------ teardown
@@ -518,6 +544,21 @@ class CoherentMemorySystem:
         for nm in self.nodes:
             for line in nm.l2.lines():
                 self._finalize_line(line)
+
+    def publish_cache_stats(self) -> None:
+        """Fold the caches' local hit/miss tallies into each node's
+        counter track (called once at collection time; the caches keep
+        plain ints on their hot paths)."""
+        for nm in self.nodes:
+            count = nm.probe.count
+            count("cache.l2.hits", nm.l2.hits)
+            count("cache.l2.misses", nm.l2.misses)
+            count("cache.l2.evictions", nm.l2.evictions)
+            count("cache.l2.invalidations", nm.l2.invalidations)
+            for l1 in nm.l1s:
+                count("cache.l1.hits", l1.hits)
+                count("cache.l1.misses", l1.misses)
+                count("cache.l1.invalidations", l1.invalidations)
 
     def machine_stats(self) -> Counter:
         """Aggregate per-node counters machine-wide."""
@@ -533,12 +574,21 @@ class PerfectMemory:
     Implements the same surface the processor uses so compiled programs
     run unchanged; every access costs one cycle and always 'hits'."""
 
-    def __init__(self, engine: Engine, cfg: MachineConfig):
+    def __init__(self, engine: Engine, cfg: MachineConfig, sink=None):
         self.engine = engine
         self.cfg = cfg
+        self.obs = make_sink(sink)
         self.allocator = SharedAllocator()
-        self.classes = ClassStats()
         self.accesses = 0
+
+    @property
+    def classes(self):
+        """Empty classification collector (nothing misses here)."""
+        return self.obs.classes
+
+    def publish_cache_stats(self) -> None:
+        """No caches to publish."""
+        pass
 
     def l1_probe(self, node: int, cpu: int, addr: int) -> bool:
         """Always hits (flat memory)."""

@@ -1,0 +1,49 @@
+"""Observability layer: probes, sinks, and timeline export.
+
+All metric, timing, and classification collection in the simulator goes
+through this package.  Producers (the engine, the memory system, the
+thread shells, the slipstream channel) hold a :class:`Probe` per track
+and record three kinds of facts:
+
+* **counters**   -- named integer tallies (``probe.count``);
+* **spans**      -- exclusive time-category intervals with stack
+  semantics (``probe.push`` / ``pop`` / ``switch`` / ``close``), the
+  paper's Figure 2/4 execution-time accounting;
+* **instants**   -- point events on the simulated timeline
+  (``probe.instant``): coherence transactions, token insert/consume,
+  A-stream skips, divergence and recovery;
+
+plus shared-data **classification** records (``probe.classify``), the
+paper's Figure 3/5 Timely/Late/Only taxonomy.
+
+Where the facts go is decided once per run by the :class:`Sink`:
+
+* :class:`AggregateSink` (default) totals everything -- it reproduces
+  the historical ``Counter`` / ``TimeBreakdown`` / ``ClassStats``
+  outputs exactly;
+* :class:`NullSink` drops everything (observability off, near-zero
+  cost);
+* :class:`TraceSink` aggregates *and* records a Chrome trace-event
+  timeline (one track per simulated processor) viewable in Perfetto or
+  ``chrome://tracing``.
+
+Invariant: probes only ever *record*; no sink interacts with the event
+engine, so simulated cycle counts are bit-identical whichever sink is
+installed (pinned by ``tests/test_obs_determinism.py``).
+"""
+
+from .aggregate import (CATEGORIES, ClassStats, Counter, FETCHERS, KINDS,
+                        OUTCOMES, TimeBreakdown, line_outcome)
+from .probe import NULL_PROBE, Probe
+from .sink import AggregateSink, NullSink, Sink, make_sink
+from .trace import (TraceSink, merge_traces, trace_json, validate_trace,
+                    write_trace)
+
+__all__ = [
+    "CATEGORIES", "ClassStats", "Counter", "FETCHERS", "KINDS",
+    "OUTCOMES", "TimeBreakdown", "line_outcome",
+    "NULL_PROBE", "Probe",
+    "AggregateSink", "NullSink", "Sink", "make_sink",
+    "TraceSink", "merge_traces", "trace_json", "validate_trace",
+    "write_trace",
+]

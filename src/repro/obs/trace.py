@@ -1,0 +1,236 @@
+"""Chrome trace-event timeline export.
+
+:class:`TraceSink` records every span and instant a run's probes see as
+Chrome trace-event JSON -- the format read by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``.  Each track (one
+simulated processor, one CMP's memory side, one pair channel) becomes
+one named thread row; time-category spans appear as nested "B"/"E"
+duration events and point facts (coherence transactions, token
+insert/consume, A-stream skips, divergence/recovery) as "i" instants.
+One simulated cycle is exported as one microsecond, so Perfetto's "ms"
+readout is kilocycles.
+
+The module is also a checker, usable as a script::
+
+    python -m repro.obs.trace out.json
+
+exits non-zero if the file is not structurally valid trace JSON
+(parseable, per-track monotonic timestamps, matched B/E pairs) -- the
+same :func:`validate_trace` the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .sink import AggregateSink
+
+__all__ = ["TraceSink", "trace_json", "write_trace", "merge_traces",
+           "validate_trace"]
+
+
+class TraceSink(AggregateSink):
+    """An :class:`AggregateSink` that also records the timeline.
+
+    Aggregation still happens (a traced run loses no figure data); on
+    top of it every probe event is appended to :attr:`events`.  Each
+    track gets a tid in creation order plus a ``thread_name`` metadata
+    event, and is wrapped in one run-long ``busy`` span so nested
+    category spans have a visible base row.
+    """
+
+    def __init__(self, pid: int = 1):
+        super().__init__()
+        self.pid = pid
+        self.events: List[dict] = []
+        self._tids: Dict[str, int] = {}
+        self._open: Dict[str, List[str]] = {}
+        self._last_ts = 0.0
+        self._finalized = False
+
+    # -- sink hooks ----------------------------------------------------------
+
+    def _emitter(self):
+        return self
+
+    def _on_new_track(self, track: str, start: float) -> None:
+        tid = self._tids[track] = len(self._tids) + 1
+        self.events.append({"ph": "M", "name": "thread_name",
+                            "pid": self.pid, "tid": tid,
+                            "args": {"name": track}})
+        self._open[track] = []
+        self.emit_begin(track, "busy", start)
+
+    # -- emitter interface (called from Probe) -------------------------------
+
+    def _stamp(self, ts: float) -> float:
+        if ts > self._last_ts:
+            self._last_ts = ts
+        return ts
+
+    def emit_begin(self, track: str, category: str, now: float) -> None:
+        self.events.append({"ph": "B", "name": category, "cat": "span",
+                            "pid": self.pid, "tid": self._tids[track],
+                            "ts": self._stamp(now)})
+        self._open[track].append(category)
+
+    def emit_end(self, track: str, category: Optional[str], now: float) -> None:
+        self.events.append({"ph": "E", "name": category or "", "cat": "span",
+                            "pid": self.pid, "tid": self._tids[track],
+                            "ts": self._stamp(now)})
+        if self._open[track]:
+            self._open[track].pop()
+
+    def emit_instant(self, track: str, name: str, now: float,
+                     args: Optional[dict]) -> None:
+        ev = {"ph": "i", "name": name, "cat": "mark", "s": "t",
+              "pid": self.pid, "tid": self._tids[track],
+              "ts": self._stamp(now)}
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def emit_close(self, track: str, open_cats: Tuple[str, ...],
+                   now: float) -> None:
+        """End-of-run close of a track: unwind the categories still on
+        its stack, then the run-long busy wrapper."""
+        for cat in reversed(open_cats):
+            self.emit_end(track, cat, now)
+        self.emit_end(track, "busy", now)
+
+    # -- output --------------------------------------------------------------
+
+    def trace_events(self) -> List[dict]:
+        """The finalized event list.
+
+        Tracks that are never explicitly closed (memory sides,
+        channels, the engine) get their open spans ended at the last
+        timestamp seen anywhere in the run, so every B has an E.
+        """
+        if not self._finalized:
+            self._finalized = True
+            end = self._last_ts
+            for track, open_cats in self._open.items():
+                for cat in reversed(open_cats):
+                    self.events.append({"ph": "E", "name": cat, "cat": "span",
+                                        "pid": self.pid,
+                                        "tid": self._tids[track], "ts": end})
+                open_cats.clear()
+        return self.events
+
+
+def trace_json(events: List[dict]) -> str:
+    """Serialize events in the JSON-object trace format."""
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      separators=(",", ":"))
+
+
+def write_trace(path: str, events: List[dict]) -> None:
+    """Write events to ``path`` as Chrome trace JSON."""
+    with open(path, "w") as fh:
+        fh.write(trace_json(events))
+
+
+def merge_traces(items: Iterable[Tuple[str, List[dict]]]) -> List[dict]:
+    """Combine per-run traces into one multi-process trace.
+
+    ``items`` is (label, events) per run in submission order; run *i*
+    becomes pid ``i + 1`` with a ``process_name`` metadata row, so a
+    swept benchmark opens in Perfetto as one process per run.  Input
+    event dicts are not mutated (pool-returned results may be shared).
+    """
+    merged: List[dict] = []
+    for i, (label, events) in enumerate(items):
+        pid = i + 1
+        merged.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "args": {"name": label}})
+        for ev in events:
+            if ev.get("pid") != pid:
+                ev = dict(ev, pid=pid)
+            merged.append(ev)
+    return merged
+
+
+def validate_trace(data: Union[dict, list]) -> List[str]:
+    """Structurally check trace JSON; returns problems ([] = valid).
+
+    Checks the invariants the exporter guarantees and viewers rely on:
+    every non-metadata event carries numeric pid/tid/ts and a name;
+    timestamps never go backwards within one (pid, tid) track; every
+    "E" matches the innermost open "B" on its track and no "B" is left
+    open at end of trace.
+    """
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            return ["no 'traceEvents' array"]
+    elif isinstance(data, list):
+        events = data
+    else:
+        return [f"trace must be an object or array, got {type(data).__name__}"]
+
+    problems: List[str] = []
+    last_ts: Dict[Tuple[int, int], float] = {}
+    open_spans: Dict[Tuple[int, int], List[str]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            problems.append(f"event {i}: not an event object")
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or None in key:
+            problems.append(f"event {i}: missing pid/tid/ts")
+            continue
+        if not ev.get("name") and ph != "E":
+            problems.append(f"event {i}: unnamed {ph!r} event")
+        if ts < last_ts.get(key, float("-inf")):
+            problems.append(
+                f"event {i}: ts {ts} < {last_ts[key]} on track {key}")
+        last_ts[key] = ts
+        if ph == "B":
+            open_spans.setdefault(key, []).append(ev.get("name", ""))
+        elif ph == "E":
+            stack = open_spans.get(key)
+            if not stack:
+                problems.append(f"event {i}: 'E' with no open 'B' on {key}")
+                continue
+            begun = stack.pop()
+            name = ev.get("name")
+            if name and name != begun:
+                problems.append(
+                    f"event {i}: 'E' {name!r} closes 'B' {begun!r} on {key}")
+    for key, stack in open_spans.items():
+        if stack:
+            problems.append(f"track {key}: unclosed 'B' spans {stack}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.trace TRACE.json", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"{argv[0]}: unreadable trace: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace(data)
+    if problems:
+        for p in problems:
+            print(f"{argv[0]}: {p}", file=sys.stderr)
+        return 1
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    tracks = {(e.get("pid"), e.get("tid")) for e in events if e.get("ph") != "M"}
+    print(f"{argv[0]}: OK ({len(events)} events, {len(tracks)} tracks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

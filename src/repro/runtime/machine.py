@@ -22,7 +22,8 @@ from ..config.machine import MachineConfig, PAPER_MACHINE
 from ..interp.funcrunner import GlobalStore
 from ..mem.address import SHARED_BASE, SHARED_LIMIT
 from ..mem.memsys import CoherentMemorySystem
-from ..sim import Engine, TimeBreakdown
+from ..obs import make_sink
+from ..sim import Engine
 from ..slipstream.channel import PairChannel
 from .env import RuntimeEnv
 from .shell import ThreadShell
@@ -53,6 +54,8 @@ class RunResult:
     mem_stats: object                # Counter
     recoveries: List[Tuple[str, str]]
     channel_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    rt_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    trace: Optional[List[dict]] = None   # Chrome trace events (TraceSink)
 
     @property
     def time_ns(self) -> float:
@@ -82,7 +85,8 @@ class Machine:
                  a_exec_critical: bool = False,
                  sections_static: bool = False,
                  sync_after_reduction: bool = False,
-                 io_cycles: float = 200.0):
+                 io_cycles: float = 200.0,
+                 obs="aggregate"):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
         if mode in ("double", "slipstream") and cfg.cpus_per_cmp < 2:
@@ -98,8 +102,10 @@ class Machine:
         self.io_cycles = io_cycles
         self.slip_resources = (mode == "slipstream")
 
-        self.engine = Engine()
-        self.memsys = CoherentMemorySystem(self.engine, cfg)
+        # One sink per run: every producer's probe is minted from it.
+        self.obs = make_sink(obs)
+        self.engine = Engine(obs=self.obs.probe("engine"))
+        self.memsys = CoherentMemorySystem(self.engine, cfg, sink=self.obs)
         self.memsys.noclass_base = RT_WORD_BASE
         self._rt_next = RT_WORD_BASE
 
@@ -139,7 +145,8 @@ class Machine:
         if self.mode == "slipstream":
             sem_lat = self.cfg.cycles(self.cfg.pi_local_dc_time_ns)
             for t in range(n):
-                ch = PairChannel(self.engine, t, op_latency=sem_lat)
+                ch = PairChannel(self.engine, t, op_latency=sem_lat,
+                                 probe=self.obs.probe(f"chan:n{t}"))
                 self.channels[t] = ch
                 a = ThreadShell(self, self.team, t, "A", node=t, cpu=1)
                 r = self.shells[t]
@@ -179,6 +186,9 @@ class Machine:
     def log_recovery(self, shell: ThreadShell, reason: str) -> None:
         """Record a divergence-recovery event."""
         self.recoveries.append((shell.name, reason))
+        shell.probe.instant("slip.recovery", self.engine.now,
+                            {"reason": reason})
+        shell.probe.count("slip.recoveries")
 
     def note_parked(self, shell: ThreadShell) -> None:
         """Track a parked (faulted) A-stream for diagnostics."""
@@ -224,26 +234,33 @@ class Machine:
         return self._collect(end)
 
     def _collect(self, end: float) -> RunResult:
+        self.memsys.publish_cache_stats()
+        self.team.publish_stats(self.obs.probe("team"))
         breakdowns = {}
-        r_parts = []
+        r_breakdown: Dict[str, float] = {}
         for shell in self.shells:
-            if not shell.bd._closed:
-                shell.bd.close(end)
+            probe = shell.probe
+            if not probe.closed:
+                probe.close(end)
             # Cache-hit stall cycles were flushed as lumped "busy" time
             # (synchronous fast path); reattribute them to "memory".
-            fm = min(shell.fast_mem_cycles, shell.bd.get("busy"))
+            fm = min(shell.fast_mem_cycles, probe.get("busy"))
             if fm:
-                shell.bd._times["busy"] -= fm
-                shell.bd._times["memory"] = shell.bd.get("memory") + fm
+                probe.transfer("busy", "memory", fm)
             shell.fast_mem_cycles = 0.0
-            breakdowns[shell.name] = shell.bd.as_dict()
+            part = probe.as_dict()
+            breakdowns[shell.name] = part
             if shell.role == "R":
-                r_parts.append(shell.bd)
+                for k, v in part.items():
+                    r_breakdown[k] = r_breakdown.get(k, 0.0) + v
         chan_stats = {
             n: {"tokens_consumed": ch.tokens_consumed,
                 "decisions_forwarded": ch.decisions_forwarded,
                 "recoveries": ch.recoveries}
             for n, ch in self.channels.items()}
+        rt_stats = {track: counts
+                    for track, c in sorted(self.obs.counters.items())
+                    if (counts := c.as_dict())}
         return RunResult(
             mode=self.mode,
             cycles=end,
@@ -251,11 +268,13 @@ class Machine:
             output=self.output,
             store=self.store,
             breakdowns=breakdowns,
-            r_breakdown=TimeBreakdown.aggregate(r_parts),
+            r_breakdown=r_breakdown,
             classes=self.memsys.classes,
             mem_stats=self.memsys.machine_stats(),
             recoveries=self.recoveries,
-            channel_stats=chan_stats)
+            channel_stats=chan_stats,
+            rt_stats=rt_stats,
+            trace=self.obs.trace_events())
 
 
 def run_program(program: CompiledProgram,

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 
 from ..interp.events import Done, IoOut, MemRead, MemWrite, RtCall, TimeSlice
 from ..interp.interpreter import MISS, VM, VMError
-from ..sim import Interrupt, TimeBreakdown
+from ..sim import Interrupt
 from ..slipstream.control import SlipControl
 from .team import Job, LoopLocal
 from .words import (JOBWAIT_BACKOFF_CAP, word_load, word_rmw, word_store,
@@ -51,11 +51,12 @@ class ThreadShell:
         self.node = node
         self.cpu = cpu
         self.name = f"{role}{tid}@n{node}c{cpu}"
-        self.bd = TimeBreakdown(start=machine.engine.now)
+        self.probe = machine.obs.probe(self.name, start=machine.engine.now)
         self.vm: Optional[VM] = None
         self.channel = None             # PairChannel, slipstream mode only
         self.pair: Optional["ThreadShell"] = None
-        self.control = SlipControl(machine.env, machine.slip_resources)
+        self.control = SlipControl(machine.env, machine.slip_resources,
+                                   probe=self.probe)
         self.barrier_sense = 0
         self.site_seq: Dict[int, int] = {}
         self.active_loops: Dict[int, LoopLocal] = {}
@@ -75,10 +76,10 @@ class ThreadShell:
     # ------------------------------------------------------------ accounting
 
     def _push(self, cat: str) -> None:
-        self.bd.push(cat, self.machine.engine.now)
+        self.probe.push(cat, self.machine.engine.now)
 
     def _pop(self) -> None:
-        self.bd.pop(self.machine.engine.now)
+        self.probe.pop(self.machine.engine.now)
 
     # ------------------------------------------------------- effective state
 
@@ -120,7 +121,7 @@ class ThreadShell:
         if ms.l1_probe(self.node, self.cpu, addr):
             yield float(self.machine.cfg.l1.hit_cycles)
             return
-        top = self.bd.depth == 0
+        top = self.probe.depth == 0
         if top:
             self._push("memory")
         try:
@@ -131,7 +132,7 @@ class ThreadShell:
 
     def timed_store(self, addr: int):
         """Generator: timed shared store at this shell's CPU."""
-        top = self.bd.depth == 0
+        top = self.probe.depth == 0
         if top:
             self._push("memory")
         try:
@@ -282,7 +283,7 @@ class ThreadShell:
                         raise
                     self._restore_from_recovery()
         finally:
-            self.bd.close(self.machine.engine.now)
+            self.probe.close(self.machine.engine.now)
 
     def run_slave(self):
         """Process body for slave pairs: spin for a job, run it, repeat.
@@ -322,7 +323,7 @@ class ThreadShell:
                         raise
                     self._restore_from_recovery()
         finally:
-            self.bd.close(self.machine.engine.now)
+            self.probe.close(self.machine.engine.now)
 
     def _read_job_descriptor(self, job: Job):
         """Load the master-published descriptor (timing)."""
@@ -383,6 +384,7 @@ class ThreadShell:
     def _restore_from_recovery(self) -> None:
         """A-stream side: adopt the R-stream's architectural state."""
         snap = self.channel.pending_restore
+        self.probe.instant("slip.restore", self.machine.engine.now)
         self.machine.unpark(self)
         if snap["frames"] is not None:
             if self.vm is None:
@@ -403,6 +405,8 @@ class ThreadShell:
 
     def _io_out(self, ev: IoOut):
         if self.role == "A":
+            self.probe.instant("a.skip", self.machine.engine.now,
+                               {"what": "io_out"})
             yield 1.0                   # irreversible: A-streams skip I/O
             return
         self._push("io")
@@ -716,6 +720,8 @@ class ThreadShell:
         if self.role == "A":
             # "There is no clear way an A-stream can tell that its
             # R-stream will execute this section ... skipped" (§3.1).
+            self.probe.instant("a.skip", self.machine.engine.now,
+                               {"what": "single"})
             yield 1.0
             self.vm.push(0)
             return
@@ -742,6 +748,9 @@ class ThreadShell:
             # does not hold for critical sections (§3.1 item 5) -- unless
             # the ablation option forces execution (lock-free, stores
             # suppressed anyway).
+            if not self.machine.a_exec_critical:
+                self.probe.instant("a.skip", self.machine.engine.now,
+                                   {"what": "critical"})
             yield 1.0
             self.vm.push(1 if self.machine.a_exec_critical else 0)
             return
@@ -780,6 +789,9 @@ class ThreadShell:
     def _rt_flush(self, ev: RtCall):
         # Hardware-coherent system: "this construct maps to void"; the
         # A-stream skips it outright (§3.1 item 7).
+        if self.role == "A":
+            self.probe.instant("a.skip", self.machine.engine.now,
+                               {"what": "flush"})
         yield 1.0 if self.role == "A" else 2.0
 
     # -- reductions --------------------------------------------------------
@@ -797,6 +809,8 @@ class ThreadShell:
                 idx = self.site_seq.get(("red", gidx), 0)
                 self.site_seq[("red", gidx)] = idx + 1
                 yield from self._a_take(("red", gidx, idx))
+            self.probe.instant("a.skip", self.machine.engine.now,
+                               {"what": "reduce"})
             yield 1.0                   # combine touches shared state: skip
             return
         addr = self.machine.gaddr(gidx, 0)

@@ -145,3 +145,19 @@ class Team:
     def job_at(self, gen: int) -> Optional[Job]:
         """Job for a generation number (None if not yet posted)."""
         return self.jobs[gen] if gen < len(self.jobs) else None
+
+    # ------------------------------------------------------------ reporting
+
+    def publish_stats(self, probe) -> None:
+        """Fold runtime-side tallies (barrier episodes, lock traffic,
+        posted jobs) into one probe track at collection time."""
+        probe.count("barrier.episodes", self.barrier.episodes)
+        probe.count("jobs.posted", self.gen)
+        probe.count("loops.materialized", len(self._loops))
+        locks = ([self.reduction_lock]
+                 + list(self._crit_locks.values())
+                 + list(self._atomic_locks.values())
+                 + [ls.lock for ls in self._loops.values()])
+        probe.count("lock.acquisitions",
+                    sum(lk.acquisitions for lk in locks))
+        probe.count("lock.contended", sum(lk.contended for lk in locks))

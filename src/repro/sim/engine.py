@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.probe import NULL_PROBE, Probe
+
 __all__ = ["SimEvent", "Process", "Engine", "SimulationError", "Interrupt"]
 
 
@@ -181,11 +183,12 @@ class Process:
 class Engine:
     """The event loop: a clock plus a priority queue of resumptions."""
 
-    def __init__(self):
+    def __init__(self, obs: Probe = NULL_PROBE):
         self.now: float = 0.0
         self._queue: list = []       # (time, seq, proc, value)
         self._seq = 0
         self._nprocs = 0
+        self.obs = obs
         self.trace_hook: Optional[Callable[[float, Process], None]] = None
 
     # -- process management -------------------------------------------------
@@ -196,11 +199,13 @@ class Engine:
         units from now (default: the current time)."""
         proc = Process(self, gen, name=name or f"proc{self._nprocs}")
         self._nprocs += 1
+        self.obs.count("engine.processes")
         self._schedule(proc, delay, None)
         return proc
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh one-shot event."""
+        self.obs.count("engine.events")
         return SimEvent(self, name=name)
 
     def timeout_event(self, delay: float, value: Any = None,

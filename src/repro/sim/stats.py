@@ -1,150 +1,11 @@
-"""Statistics collection: counters and exclusive time-category clocks.
+"""Compatibility shim: the statistics primitives live in ``repro.obs``.
 
-The paper's Figures 2 and 4 break execution time into busy cycles, memory
-stalls, lock time, barrier time, scheduling time, and job-wait time.
-:class:`TimeBreakdown` implements that accounting as a stack of exclusive
-categories: a processor is always "in" exactly one category, and nested
-activities (e.g. a memory stall while spinning on a lock) attribute their
-time to the innermost category.
+``Counter`` and ``TimeBreakdown`` (plus the ``CATEGORIES`` display
+order) moved to :mod:`repro.obs.aggregate` when all instrumentation was
+unified under the observability layer.  This module keeps the historical
+import path working; new code should import from :mod:`repro.obs`.
 """
 
-from __future__ import annotations
-
-from typing import Dict, Iterable, List, Tuple
+from ..obs.aggregate import CATEGORIES, Counter, TimeBreakdown
 
 __all__ = ["Counter", "TimeBreakdown", "CATEGORIES"]
-
-#: Display order for the paper's execution-time categories.
-CATEGORIES: Tuple[str, ...] = (
-    "busy", "memory", "lock", "barrier", "scheduling", "jobwait",
-    "a_wait", "io", "idle",
-)
-
-
-class Counter:
-    """A named bag of integer counters."""
-
-    def __init__(self):
-        self._c: Dict[str, int] = {}
-
-    def add(self, key: str, n: int = 1) -> None:
-        """Increment a named counter."""
-        self._c[key] = self._c.get(key, 0) + n
-
-    def get(self, key: str) -> int:
-        """Read a named counter (0 if absent)."""
-        return self._c.get(key, 0)
-
-    def as_dict(self) -> Dict[str, int]:
-        """Snapshot all counters."""
-        return dict(self._c)
-
-    def merge(self, other: "Counter") -> None:
-        """Accumulate another counter bag."""
-        for k, v in other._c.items():
-            self.add(k, v)
-
-    def __repr__(self) -> str:
-        body = ", ".join(f"{k}={v}" for k, v in sorted(self._c.items()))
-        return f"Counter({body})"
-
-
-class TimeBreakdown:
-    """Exclusive time accounting with a category stack.
-
-    Usage from a processor coroutine::
-
-        bd.push("barrier", now)      # entering barrier code
-        ...                          # time accrues to "barrier"
-        bd.push("memory", now)       # a miss inside the barrier spin
-        ...                          # time accrues to "memory"
-        bd.pop(now)                  # back to "barrier"
-        bd.pop(now)                  # back to whatever was below
-
-    The base category (when the stack is empty) is ``busy``.
-    """
-
-    __slots__ = ("_times", "_stack", "_last", "_closed")
-
-    def __init__(self, start: float = 0.0):
-        self._times: Dict[str, float] = {}
-        self._stack: List[str] = []
-        self._last = start
-        self._closed = False
-
-    # -- internals -----------------------------------------------------------
-
-    def _settle(self, now: float) -> None:
-        cat = self._stack[-1] if self._stack else "busy"
-        dt = now - self._last
-        if dt < 0:
-            raise ValueError(f"time went backwards: {self._last} -> {now}")
-        if dt:
-            self._times[cat] = self._times.get(cat, 0.0) + dt
-        self._last = now
-
-    # -- public API ------------------------------------------------------------
-
-    def push(self, category: str, now: float) -> None:
-        """Enter a category (settling elapsed time first)."""
-        self._settle(now)
-        self._stack.append(category)
-
-    def pop(self, now: float) -> str:
-        """Leave the current category; returns its name."""
-        self._settle(now)
-        if not self._stack:
-            raise ValueError("pop on empty category stack")
-        return self._stack.pop()
-
-    def switch(self, category: str, now: float) -> None:
-        """Replace the top of the stack (settling time first)."""
-        self._settle(now)
-        if self._stack:
-            self._stack[-1] = category
-        else:
-            self._stack.append(category)
-
-    def close(self, now: float) -> None:
-        """Finalize accounting at ``now`` (end of simulation)."""
-        self._settle(now)
-        self._stack.clear()
-        self._closed = True
-
-    @property
-    def current(self) -> str:
-        """Innermost active category ('busy' at depth 0)."""
-        return self._stack[-1] if self._stack else "busy"
-
-    @property
-    def depth(self) -> int:
-        """Category-stack depth."""
-        return len(self._stack)
-
-    def total(self) -> float:
-        """Sum of all attributed time."""
-        return sum(self._times.values())
-
-    def get(self, category: str) -> float:
-        """Time attributed to one category."""
-        return self._times.get(category, 0.0)
-
-    def as_dict(self) -> Dict[str, float]:
-        """Snapshot of category -> time."""
-        return dict(self._times)
-
-    def fractions(self) -> Dict[str, float]:
-        """Category shares of the total (empty if no time)."""
-        tot = self.total()
-        if tot <= 0:
-            return {}
-        return {k: v / tot for k, v in self._times.items()}
-
-    @staticmethod
-    def aggregate(parts: Iterable["TimeBreakdown"]) -> Dict[str, float]:
-        """Sum categories across processors (for machine-wide breakdowns)."""
-        out: Dict[str, float] = {}
-        for p in parts:
-            for k, v in p._times.items():
-                out[k] = out.get(k, 0.0) + v
-        return out

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
+from ..obs.probe import NULL_PROBE, Probe
 from ..sim import Engine, Semaphore
 
 __all__ = ["PairChannel"]
@@ -31,9 +32,11 @@ __all__ = ["PairChannel"]
 class PairChannel:
     """Hardware-level A-R coupling for one CMP node."""
 
-    def __init__(self, engine: Engine, node: int, op_latency: float = 0.0):
+    def __init__(self, engine: Engine, node: int, op_latency: float = 0.0,
+                 probe: Probe = NULL_PROBE):
         self.engine = engine
         self.node = node
+        self.probe = probe
         self.tokens = Semaphore(engine, f"tok:n{node}", initial=0,
                                 op_latency=op_latency)
         self.syscall = Semaphore(engine, f"sys:n{node}", initial=0,
@@ -70,12 +73,18 @@ class PairChannel:
     def insert_token(self) -> None:
         """R-stream inserts one token (Fig. 1)."""
         self.tokens.release()
+        self.probe.count("token.inserts")
+        self.probe.instant("token.insert", self.engine.now,
+                           {"count": self.tokens.count})
 
     def consume_token(self):
         """Generator: the A-stream consumes one token (waiting if the
         allocation is exhausted)."""
         yield from self.tokens.acquire()
         self.tokens_consumed += 1
+        self.probe.count("token.consumes")
+        self.probe.instant("token.consume", self.engine.now,
+                           {"count": self.tokens.count})
 
     # ------------------------------------------------------------- barriers
 
@@ -112,6 +121,8 @@ class PairChannel:
         """Flag a speculative A-stream fault for the next check."""
         self.a_faulted = True
         self.a_fault_reason = reason
+        self.probe.count("a.faults")
+        self.probe.instant("a.fault", self.engine.now, {"reason": reason})
 
     def reset_after_recovery(self) -> None:
         """Re-align the channel after the A-stream is re-forked from the
@@ -130,6 +141,9 @@ class PairChannel:
         and releases the syscall semaphore (§3.2.2)."""
         self.mailbox.append((kind, site, seq, payload))
         self.decisions_forwarded += 1
+        self.probe.count("decisions.published")
+        self.probe.instant("decision.publish", self.engine.now,
+                           {"kind": kind, "site": site, "seq": seq})
         self.syscall.release()
 
     def take(self, kind: str, site: int, seq: int):

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..obs.probe import NULL_PROBE, Probe
 from ..runtime.env import RuntimeEnv
 
 __all__ = ["SlipControl", "DEFAULT_SYNC"]
@@ -32,8 +33,10 @@ DEFAULT_SYNC: Tuple[str, int] = ("GLOBAL_SYNC", 0)
 class SlipControl:
     """Per-run slipstream setting resolution."""
 
-    def __init__(self, env: RuntimeEnv, enabled: bool):
+    def __init__(self, env: RuntimeEnv, enabled: bool,
+                 probe: Probe = NULL_PROBE):
         self.env = env
+        self.probe = probe
         #: machine-level intent (the paper's "control register"): only a
         #: machine launched with A-stream resources can run slipstream.
         self.enabled = enabled
@@ -49,6 +52,7 @@ class SlipControl:
         """Execute a slipstream directive (the lowered runtime call)."""
         if not cond:
             return
+        self.probe.count("slip.directives")
         setting = self._resolve_directive(sync_type, tokens)
         if region_scoped:
             self._pending_region = setting
@@ -77,6 +81,7 @@ class SlipControl:
             setting = DEFAULT_SYNC
         self._region_active = setting
         self.in_region = True
+        self.probe.count(f"slip.region.{setting[0]}")
         return setting
 
     def region_exit(self) -> None:

@@ -1,0 +1,103 @@
+"""Round-trip tests for the CSV/Markdown result exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.harness import BREAKDOWN_CATEGORIES, breakdown_table, speedup_table
+from repro.harness.report import (classification_to_csv, suite_to_csv,
+                                  suite_to_markdown)
+from repro.harness.runner import BenchRun
+from repro.obs import ClassStats, Counter
+from repro.runtime import RunResult
+
+
+def _run(bench, config, cycles, busy, memory, lock):
+    r_bd = {"busy": busy, "memory": memory, "lock": lock}
+    cls = ClassStats()
+    cls.record("A", "read", "timely", 5)
+    cls.record("R", "read", "only", 5)
+    cls.record("A", "rdex", "late", 2)
+    cls.record("R", "rdex", "timely", 2)
+    res = RunResult(mode="slipstream", cycles=cycles, result=0.0,
+                    output=[], store=None,
+                    breakdowns={"R0": dict(r_bd)}, r_breakdown=r_bd,
+                    classes=cls, mem_stats=Counter(), recoveries=[])
+    return BenchRun(bench=bench, config=config, result=res)
+
+
+@pytest.fixture()
+def suite():
+    return {
+        "aa": {"single": _run("aa", "single", 1000.0, 600.0, 300.0, 100.0),
+               "G0": _run("aa", "G0", 800.0, 500.0, 200.0, 100.0)},
+        "bb": {"single": _run("bb", "single", 2000.0, 1000.0, 600.0, 400.0),
+               "G0": _run("bb", "G0", 1000.0, 700.0, 200.0, 100.0)},
+    }
+
+
+def test_suite_to_csv_header_tracks_breakdown_categories(suite):
+    rows = list(csv.reader(io.StringIO(suite_to_csv(suite))))
+    expected = (["benchmark", "config", "cycles", "speedup_vs_single"]
+                + [f"t_{c}" for c in BREAKDOWN_CATEGORIES] + ["t_other"])
+    assert rows[0] == expected
+    assert len(rows) == 1 + 4                       # 2 benches x 2 configs
+    assert all(len(r) == len(expected) for r in rows[1:])
+
+
+def test_suite_to_csv_roundtrips_values(suite):
+    rows = list(csv.DictReader(io.StringIO(suite_to_csv(suite))))
+    speeds = speedup_table(suite)
+    brk = breakdown_table(suite)
+    assert len(rows) == 4
+    for row in rows:
+        bench, cfg = row["benchmark"], row["config"]
+        assert float(row["cycles"]) == suite[bench][cfg].cycles
+        assert float(row["speedup_vs_single"]) == pytest.approx(
+            speeds[bench][cfg], abs=5e-5)
+        for c in BREAKDOWN_CATEGORIES:
+            assert float(row[f"t_{c}"]) == pytest.approx(
+                brk[bench][cfg][c], abs=5e-5)
+        assert float(row["t_other"]) == pytest.approx(
+            brk[bench][cfg]["other"], abs=5e-5)
+    g0 = next(r for r in rows
+              if r["benchmark"] == "bb" and r["config"] == "G0")
+    assert float(g0["speedup_vs_single"]) == 2.0
+
+
+def test_classification_to_csv(suite):
+    rows = list(csv.reader(io.StringIO(classification_to_csv(suite))))
+    labels = ["A-Timely", "A-Late", "A-Only", "R-Timely", "R-Late", "R-Only"]
+    assert rows[0] == ["benchmark", "config", "kind"] + labels + [
+        "rdex_coverage"]
+    # L1 is absent from the fabricated suite and must be skipped, so:
+    # 2 benches x 1 config x 2 kinds.
+    assert len(rows) == 1 + 4
+    body = {(r[0], r[1], r[2]): r[3:] for r in rows[1:]}
+    read = body[("aa", "G0", "read")]
+    assert [float(v) for v in read[:-1]] == [0.5, 0.0, 0.0, 0.0, 0.0, 0.5]
+    rdex = body[("aa", "G0", "rdex")]
+    assert [float(v) for v in rdex[:-1]] == [0.0, 0.5, 0.0, 0.5, 0.0, 0.0]
+    assert float(rdex[-1]) == 0.5                   # (A-timely+A-late)/total
+
+
+def test_suite_to_markdown(suite):
+    md = suite_to_markdown(suite, title="demo")
+    lines = md.splitlines()
+    assert lines[0] == "### demo"
+    header = lines[2]
+    assert header == "| bench | single | G0 | best-slip gain |"
+    assert lines[3] == "|---|---|---|---|"
+    # Benchmarks are emitted sorted; gain = best base over best slip.
+    aa = next(ln for ln in lines if ln.startswith("| AA "))
+    bb = next(ln for ln in lines if ln.startswith("| BB "))
+    assert lines.index(aa) < lines.index(bb)
+    assert aa == "| AA | 1.000 | 1.250 | 1.250 |"
+    assert bb == "| BB | 1.000 | 2.000 | 2.000 |"
+    assert lines[-1] == "| **average** |  |  | **1.625** |"
+
+
+def test_suite_to_markdown_without_title(suite):
+    md = suite_to_markdown(suite)
+    assert md.splitlines()[0].startswith("| bench |")

@@ -1,0 +1,105 @@
+"""The tentpole invariants of the observability layer.
+
+Simulated cycle counts (the golden table of ``test_determinism.py``)
+must be bit-identical whether observability is off (NullSink), totals
+only (AggregateSink, the default), or fully traced (TraceSink) --
+probes record, they never touch the engine.  And specs carrying a sink
+selection must survive the process-pool path with results identical to
+serial execution.
+"""
+
+import pickle
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.harness import (ProcessPoolContext, RunSpec, SerialContext,
+                           run_benchmark, run_static_suite)
+from repro.obs import merge_traces, validate_trace
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+#: cg/G0 at test size on 4 CMPs -- captured from the pre-refactor
+#: collectors; the AggregateSink must reproduce them exactly.
+GOLDEN_CYCLES = 73175.0
+GOLDEN_R_BREAKDOWN = {"barrier": 122710.0, "busy": 66115.0, "io": 200.0,
+                      "jobwait": 10654.0, "lock": 49602.0,
+                      "memory": 43419.0}
+GOLDEN_CLASSES = {"A-rdex-late": 10, "A-rdex-only": 1, "A-rdex-timely": 62,
+                  "A-read-late": 10, "A-read-timely": 2, "R-rdex-late": 3,
+                  "R-rdex-only": 23, "R-rdex-timely": 10, "R-read-late": 36,
+                  "R-read-only": 15}
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {obs: run_benchmark("cg", "G0", cfg=CFG, size="test", obs=obs)
+            for obs in ("aggregate", "null", "trace")}
+
+
+def test_cycles_identical_across_sinks(runs):
+    for obs, run in runs.items():
+        assert run.cycles == GOLDEN_CYCLES, obs
+
+
+def test_aggregate_sink_reproduces_golden_figures(runs):
+    assert runs["aggregate"].result.r_breakdown == GOLDEN_R_BREAKDOWN
+    assert runs["aggregate"].result.classes.as_dict() == GOLDEN_CLASSES
+
+
+def test_trace_sink_loses_no_aggregate_data(runs):
+    agg, tr = runs["aggregate"].result, runs["trace"].result
+    assert tr.r_breakdown == GOLDEN_R_BREAKDOWN
+    assert tr.breakdowns == agg.breakdowns
+    assert tr.classes.as_dict() == GOLDEN_CLASSES
+    assert tr.rt_stats == agg.rt_stats
+
+
+def test_null_sink_drops_everything(runs):
+    r = runs["null"].result
+    assert r.cycles == GOLDEN_CYCLES
+    assert r.r_breakdown == {}
+    assert r.classes.as_dict() == {}
+    assert r.rt_stats == {}
+    assert r.trace is None
+
+
+def test_trace_is_valid_and_only_on_trace_sink(runs):
+    assert runs["aggregate"].result.trace is None
+    tr = runs["trace"].result.trace
+    assert tr and validate_trace(tr) == []
+    # One thread-name row per track, including all simulated processors.
+    names = {e["args"]["name"] for e in tr
+             if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {"R0@n0c0", "A0@n0c1", "engine", "mem", "team"} <= names
+    kinds = {e["name"] for e in tr if e["ph"] == "i"}
+    assert any(k.startswith("coh.") for k in kinds)
+    assert any(k.startswith("token.") for k in kinds)
+    assert any(k.startswith("classify.") for k in kinds)
+
+
+def test_runspec_with_sink_selection_pickles():
+    spec = RunSpec.make("cg", "G0", cfg=CFG, size="test", obs="trace")
+    clone = pickle.loads(pickle.dumps(spec))
+    assert dict(clone.machine_kw)["obs"] == "trace"
+
+
+def test_pool_merge_matches_serial_with_tracing():
+    kw = dict(cfg=CFG, size="test", benchmarks=("cg",),
+              configs=("single", "G0"), obs="trace")
+    serial = run_static_suite(context=SerialContext(), **kw)
+    pooled = run_static_suite(context=ProcessPoolContext(jobs=2), **kw)
+
+    def merged(suite):
+        return merge_traces(
+            (f"{b}:{c}", run.result.trace)
+            for b, runs_ in suite.items() for c, run in runs_.items())
+
+    for cfg_name in ("single", "G0"):
+        assert (serial["cg"][cfg_name].cycles
+                == pooled["cg"][cfg_name].cycles)
+        assert (serial["cg"][cfg_name].result.r_breakdown
+                == pooled["cg"][cfg_name].result.r_breakdown)
+    a, b = merged(serial), merged(pooled)
+    assert a == b
+    assert validate_trace(a) == []
