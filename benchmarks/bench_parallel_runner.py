@@ -71,6 +71,11 @@ def _measure():
         "sweep": {"benchmarks": SMOKE_BENCHMARKS, "configs": SMOKE_CONFIGS,
                   "size": bench_size(), "n_cmps": bench_cfg().n_cmps,
                   "runs": len(specs)},
+        # Per-run simulated cycles: the regression gate
+        # (python -m repro.harness.regress) re-runs this sweep and
+        # demands an exact match, so intended cycle changes must
+        # regenerate this file (see README.md).
+        "cycles": {f"{r.bench}/{r.config}": r.cycles for r in cold},
         "host": {"cpu_count": os.cpu_count(),
                  "platform": platform.platform(),
                  "python": platform.python_version()},

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     python -m repro compile prog.c --disasm
     python -m repro check prog.c          # shared/private classification
     python -m repro bench cg mg --size test --cmps 4
+    python -m repro profile run prog.c --mode slipstream --top 10
 
 This is the analogue of driving the paper's toolchain: one compiled
 image, execution mode and slipstream policy chosen at run time.
@@ -63,6 +64,30 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace-event timeline of the "
                            "run (open in Perfetto / chrome://tracing)")
 
+    prof = sub.add_parser("profile",
+                          help="cycle-exact source-line profiling")
+    psub = prof.add_subparsers(dest="profile_cmd", required=True)
+    prun = psub.add_parser(
+        "run", help="compile, simulate, and print a per-line profile")
+    prun.add_argument("file")
+    prun.add_argument("--mode", default="single",
+                      choices=["single", "double", "slipstream"])
+    _machine_args(prun)
+    prun.add_argument("--slipstream", metavar="TYPE[,TOKENS]",
+                      help="OMP_SLIPSTREAM value (e.g. LOCAL_SYNC,1)")
+    prun.add_argument("--schedule", metavar="KIND[,CHUNK]",
+                      help="OMP_SCHEDULE value (for schedule(runtime))")
+    prun.add_argument("--num-threads", type=int, help="OMP_NUM_THREADS")
+    prun.add_argument("--inputs", type=float, nargs="*", default=None,
+                      help="values consumed by read_input()")
+    prun.add_argument("--top", type=int, default=20, metavar="N",
+                      help="rows in the hot-line table (default 20)")
+    prun.add_argument("--collapsed", metavar="OUT.txt",
+                      help="write Brendan-Gregg collapsed stacks "
+                           "(flamegraph.pl input)")
+    prun.add_argument("--csv", metavar="OUT.csv",
+                      help="write the full per-line profile as CSV")
+
     comp = sub.add_parser("compile", help="compile only; report the image")
     comp.add_argument("file")
     comp.add_argument("--disasm", action="store_true",
@@ -84,6 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--trace", metavar="OUT.json",
                      help="write a merged Chrome trace-event timeline "
                           "(one process per benchmark run)")
+    ben.add_argument("--profile", metavar="OUT.txt",
+                     help="profile every run; write merged collapsed "
+                          "stacks to OUT and print the hot-line table")
     _machine_args(ben)
     return ap
 
@@ -142,6 +170,37 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_profile_run(args, out) -> int:
+    source = open(args.file).read()
+    image = compile_source(source)
+    cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    result = run_program(image, cfg=cfg, mode=args.mode,
+                         env=_env_from_args(args), inputs=args.inputs,
+                         obs="profile")
+    for row in result.output:
+        print(*row, file=out)
+    print(f"[{args.mode}] {result.cycles:,.0f} cycles on {args.cmps} CMPs",
+          file=out)
+    from .harness import profile_table, profile_to_csv
+    from .obs import profile_total
+    print(profile_table(result.profile, top=args.top,
+                        title=f"hot lines ({args.file})"), file=out)
+    print(f"total profiled: {profile_total(result.profile):,.0f} "
+          f"simulated cycles across {len(result.profile)} tracks",
+          file=out)
+    if args.collapsed:
+        from .obs import collapsed_stacks, write_collapsed
+        stacks = collapsed_stacks(result.profile, label=args.mode)
+        write_collapsed(args.collapsed, stacks)
+        print(f"collapsed stacks written to {args.collapsed} "
+              f"({len(stacks)} lines)", file=out)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(profile_to_csv(result.profile))
+        print(f"per-line CSV written to {args.csv}", file=out)
+    return 0
+
+
 def _cmd_compile(args, out) -> int:
     image = compile_source(open(args.file).read())
     print(f"{args.file}: {len(image.globals)} shared globals, "
@@ -189,7 +248,15 @@ def _cmd_bench(args, out) -> int:
         return 2
     from .harness import make_context
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
-    kw = {"obs": "trace"} if args.trace else {}
+    if args.trace and args.profile:
+        print("--trace and --profile are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    kw = {}
+    if args.trace:
+        kw["obs"] = "trace"
+    elif args.profile:
+        kw["obs"] = "profile"
     suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names,
                              context=make_context(args.jobs), **kw)
     print(render_speedups(
@@ -205,6 +272,27 @@ def _cmd_bench(args, out) -> int:
         write_trace(args.trace, merged)
         print(f"trace written to {args.trace} ({len(merged)} events, "
               f"{len(items)} runs)", file=out)
+    if args.profile:
+        from .harness import profile_table
+        from .obs import collapsed_stacks, write_collapsed
+        combined = {}
+        stacks = []
+        n_runs = 0
+        for bench, runs in suite.items():
+            for cfg_name, run in runs.items():
+                p = run.result.profile
+                if not p:
+                    continue
+                n_runs += 1
+                stacks.extend(
+                    collapsed_stacks(p, label=f"{bench}:{cfg_name}"))
+                for track, data in p.items():
+                    combined[f"{bench}:{cfg_name}:{track}"] = data
+        write_collapsed(args.profile, stacks)
+        print(profile_table(combined, title="hot lines (all runs)"),
+              file=out)
+        print(f"collapsed stacks written to {args.profile} "
+              f"({len(stacks)} lines, {n_runs} runs)", file=out)
     return 0
 
 
@@ -215,6 +303,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         if args.cmd == "run":
             return _cmd_run(args, out)
+        if args.cmd == "profile":
+            return _cmd_profile_run(args, out)
         if args.cmd == "compile":
             return _cmd_compile(args, out)
         if args.cmd == "check":

@@ -110,6 +110,11 @@ class Code:
         field(default_factory=list)
     is_region: bool = False
     line: int = 0
+    #: Source line per instruction (parallel to ``instrs``); the
+    #: profiler's instr-index -> SlipC line map.  Kept in sync by the
+    #: peephole optimizer and pickled with the image, so disk-cached
+    #: entries carry it too.
+    lines: List[int] = field(default_factory=list)
 
     @property
     def n_params(self) -> int:

@@ -128,6 +128,9 @@ class _FuncCompiler:
         # names that shadow globals with a region-local slot
         self.redirects: Dict[str, int] = redirects or {}
         self.loop_stack: List[Tuple[List[int], List[int]]] = []  # (breaks, conts)
+        #: Source line attributed to the instructions being emitted;
+        #: updated by compile_stmt/compile_expr from each node's line.
+        self._line = code.line
         for p in code.params:
             self._new_slot(p)
 
@@ -135,6 +138,7 @@ class _FuncCompiler:
 
     def emit(self, op: str, arg=None) -> int:
         self.code.instrs.append((op, arg) if arg is not None else (op,))
+        self.code.lines.append(self._line)
         return len(self.code.instrs) - 1
 
     @property
@@ -218,6 +222,8 @@ class _FuncCompiler:
         if m is None:
             raise SemanticError(
                 f"cannot compile {type(node).__name__} here", node.line)
+        if node.line:
+            self._line = node.line
         m(node)
 
     def _stmt_Block(self, node: A.Block) -> None:
@@ -642,6 +648,8 @@ class _FuncCompiler:
     # ---------------------------------------------------------- expressions
 
     def compile_expr(self, e: A.Node) -> None:
+        if e.line:
+            self._line = e.line
         if isinstance(e, A.Num):
             self.emit("const", e.value)
         elif isinstance(e, A.Var):

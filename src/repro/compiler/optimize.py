@@ -64,9 +64,11 @@ def _one_pass(code: Code) -> int:
     instrs = code.instrs
     targets = _jump_targets(instrs)
     out: List[Tuple] = []
+    out_lines: List[int] = []            # kept in lockstep with ``out``
     remap: Dict[int, int] = {}
     i = 0
     n = len(instrs)
+    lines = code.lines if len(code.lines) == n else [0] * n
 
     def is_const(idx_out: int) -> bool:
         """Is out[idx_out] a const not serving as a branch target?"""
@@ -95,6 +97,9 @@ def _one_pass(code: Code) -> int:
                 out.pop()
                 out.pop()
                 out.append(("const", folded))
+                out_lines.pop()
+                out_lines.pop()
+                out_lines.append(lines[i])
                 i += 1
                 continue
 
@@ -104,6 +109,7 @@ def _one_pass(code: Code) -> int:
                 and _window_free(remap, targets, i, 1):
             v = out.pop()[1]
             out.append(("const", -v))
+            out_lines[-1] = lines[i]
             i += 1
             continue
 
@@ -112,6 +118,7 @@ def _one_pass(code: Code) -> int:
                 and _window_free(remap, targets, i, 1):
             # push immediately discarded
             out.pop()
+            out_lines.pop()
             i += 1
             continue
 
@@ -119,14 +126,17 @@ def _one_pass(code: Code) -> int:
                 and is_const(len(out) - 1) \
                 and _window_free(remap, targets, i, 1):
             cond = out.pop()[1]
+            out_lines.pop()
             if cond:
                 pass                      # never taken: drop both
             else:
                 out.append(("jump", ins[1]))
+                out_lines.append(lines[i])
             i += 1
             continue
 
         out.append(ins)
+        out_lines.append(lines[i])
         i += 1
 
     remap[n] = len(out)                  # branches may point past the end
@@ -136,6 +146,7 @@ def _one_pass(code: Code) -> int:
             out[k] = (ins[0], remap[ins[1]])
     removed = len(instrs) - len(out)
     code.instrs[:] = out
+    code.lines[:] = out_lines
     return removed
 
 

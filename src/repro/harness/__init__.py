@@ -5,7 +5,8 @@ from .figures import (BREAKDOWN_CATEGORIES, benchmark_inventory,
                       render_breakdowns, render_classification,
                       render_speedups, render_table, speedup_table,
                       summary_gains)
-from .report import classification_to_csv, suite_to_csv, suite_to_markdown
+from .report import (classification_to_csv, profile_table, profile_to_csv,
+                     suite_to_csv, suite_to_markdown)
 from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
                      BenchRun, dynamic_chunk, run_benchmark,
                      run_dynamic_suite, run_static_suite)
@@ -18,8 +19,8 @@ __all__ = [
     "render_speedups", "render_table", "speedup_table", "summary_gains",
     "DYNAMIC_BENCHMARKS", "SLIP_CONFIGS", "STATIC_BENCHMARKS", "BenchRun",
     "dynamic_chunk", "run_benchmark", "run_dynamic_suite",
-    "run_static_suite", "classification_to_csv", "suite_to_csv",
-    "suite_to_markdown",
+    "run_static_suite", "classification_to_csv", "profile_table",
+    "profile_to_csv", "suite_to_csv", "suite_to_markdown",
     "ExecutionContext", "ProcessPoolContext", "RunSpec", "SerialContext",
     "execute_spec", "make_context",
 ]

@@ -1,0 +1,131 @@
+"""Bench-regression gate: hold the committed baseline's cycle counts.
+
+``BENCH_parallel_runner.json`` (repository root) records, besides its
+wall-clock trajectory, the **simulated cycle count of every run** in
+the CI smoke sweep.  Simulated cycles are a pure function of the
+compiled image and machine model -- any drift means an (intended or
+not) behaviour change of the simulator, so the gate re-runs the sweep
+described *by the baseline itself* and demands:
+
+* **cycles**: exact match, run by run (bit-for-bit; no tolerance);
+* **wall time**: the serial sweep may not take longer than
+  ``tol x serial_cold_s`` from the baseline (default tolerance 5.0 --
+  a coarse guard against pathological slowdowns, loose enough for
+  noisy CI hosts; override with ``--wall-tol`` or
+  ``REPRO_REGRESS_WALL_TOL``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.harness.regress BENCH_parallel_runner.json
+
+Exit codes: 0 pass, 1 regression detected, 2 unusable baseline.
+After an *intended* cycle change, regenerate the baseline (see
+README.md, "Updating the bench baseline") and commit it with the
+change that caused it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from ..config.machine import PAPER_MACHINE
+from .exec import SerialContext, static_specs
+
+__all__ = ["main", "check_baseline", "DEFAULT_WALL_TOL"]
+
+DEFAULT_WALL_TOL = 5.0
+
+
+def check_baseline(data: dict, wall_tol: float, out) -> List[str]:
+    """Re-run the baseline's sweep; return a list of failure strings
+    (empty on a clean pass)."""
+    sweep = data["sweep"]
+    cfg = PAPER_MACHINE.with_(n_cmps=sweep["n_cmps"])
+    specs = static_specs(cfg, sweep["size"], sweep["benchmarks"],
+                         sweep["configs"])
+    t0 = time.perf_counter()
+    runs = SerialContext().run(specs)
+    wall = time.perf_counter() - t0
+
+    failures: List[str] = []
+    expected = data["cycles"]
+    seen = set()
+    for run in runs:
+        key = f"{run.bench}/{run.config}"
+        seen.add(key)
+        want = expected.get(key)
+        if want is None:
+            failures.append(f"{key}: not in baseline (stale baseline? "
+                            f"regenerate it)")
+        elif run.cycles != want:
+            failures.append(f"{key}: cycles {run.cycles:.0f} != baseline "
+                            f"{want:.0f} (drift {run.cycles - want:+.0f})")
+        else:
+            print(f"  ok {key}: {run.cycles:,.0f} cycles", file=out)
+    for key in sorted(set(expected) - seen):
+        failures.append(f"{key}: in baseline but not produced by the sweep")
+
+    budget = wall_tol * data["serial_cold_s"]
+    verdict = "ok" if wall <= budget else "FAIL"
+    print(f"  {verdict} wall: {wall:.2f}s (budget {budget:.2f}s = "
+          f"{wall_tol:g} x baseline {data['serial_cold_s']:.2f}s)",
+          file=out)
+    if wall > budget:
+        failures.append(f"wall time {wall:.2f}s exceeds "
+                        f"{wall_tol:g}x baseline ({budget:.2f}s)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.harness.regress",
+        description="re-run the committed bench baseline's sweep and "
+                    "fail on simulated-cycle drift or gross wall-time "
+                    "regression")
+    ap.add_argument("baseline", help="path to BENCH_parallel_runner.json")
+    ap.add_argument("--wall-tol", type=float, default=None, metavar="X",
+                    help="fail when serial wall time exceeds X times the "
+                         "baseline's serial_cold_s (default from "
+                         "REPRO_REGRESS_WALL_TOL, else "
+                         f"{DEFAULT_WALL_TOL:g})")
+    args = ap.parse_args(argv)
+    try:
+        data = json.loads(open(args.baseline).read())
+    except FileNotFoundError:
+        print(f"regress: baseline not found: {args.baseline}",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"regress: unreadable baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+    if "sweep" not in data or "cycles" not in data:
+        print(f"regress: {args.baseline} has no sweep/cycles section -- "
+              "regenerate it (see README.md)", file=sys.stderr)
+        return 2
+    wall_tol = args.wall_tol if args.wall_tol is not None else float(
+        os.environ.get("REPRO_REGRESS_WALL_TOL", DEFAULT_WALL_TOL))
+
+    sweep = data["sweep"]
+    print(f"regress: {len(data['cycles'])} pinned runs "
+          f"({','.join(sweep['benchmarks'])} x "
+          f"{','.join(sweep['configs'])}, {sweep['size']} size, "
+          f"{sweep['n_cmps']} CMPs)", file=out)
+    failures = check_baseline(data, wall_tol, out)
+    if failures:
+        print("regress: FAIL", file=out)
+        for f in failures:
+            print(f"  - {f}", file=out)
+        return 1
+    print("regress: PASS (cycles bit-identical to baseline)", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,14 @@ import csv
 import io
 from typing import Dict, Sequence
 
+from ..obs import MEM_LEVELS, line_totals, profile_total
 from .figures import (BREAKDOWN_CATEGORIES, breakdown_table,
-                      classification_table, speedup_table, summary_gains)
+                      classification_table, render_table, speedup_table,
+                      summary_gains)
 from .runner import BenchRun
 
-__all__ = ["suite_to_csv", "suite_to_markdown", "classification_to_csv"]
+__all__ = ["suite_to_csv", "suite_to_markdown", "classification_to_csv",
+           "profile_table", "profile_to_csv"]
 
 
 def suite_to_csv(suite: Dict[str, Dict[str, BenchRun]]) -> str:
@@ -53,6 +56,52 @@ def classification_to_csv(suite: Dict[str, Dict[str, BenchRun]],
                 w.writerow([bench, cfg, kind]
                            + [f"{row[l]:.4f}" for l in labels]
                            + [f"{cov:.4f}"])
+    return out.getvalue()
+
+
+def profile_table(profile: Dict[str, Dict], top: int = 20,
+                  title: str = "") -> str:
+    """Top-N per-source-line profile as an aligned ASCII table.
+
+    One row per (function, line), hottest first: total simulated
+    cycles, share of all profiled cycles, busy cycles, the memory
+    cycles split by resolution level (CMP hits vs local home vs clean
+    remote vs dirty 3-hop), and the R-vs-A split for slipstream runs.
+    """
+    rows = line_totals(profile)
+    grand = profile_total(profile) or 1.0
+    lv_cols = [lv for lv in MEM_LEVELS
+               if any(r["levels"].get(lv) for r in rows.values())]
+    show_streams = any(r["streams"]["A"] for r in rows.values())
+    headers = ["function", "line", "cycles", "%", "busy"] + lv_cols
+    if show_streams:
+        headers += ["R", "A"]
+    table = []
+    ranked = sorted(rows.items(), key=lambda kv: (-kv[1]["total"], kv[0]))
+    for (func, line), r in ranked[:top]:
+        row = [func or "<runtime>", line, f"{r['total']:.0f}",
+               f"{100.0 * r['total'] / grand:.1f}", f"{r['busy']:.0f}"]
+        row += [f"{r['levels'].get(lv, 0.0):.0f}" for lv in lv_cols]
+        if show_streams:
+            row += [f"{r['streams']['R']:.0f}", f"{r['streams']['A']:.0f}"]
+        table.append(row)
+    return render_table(headers, table, title)
+
+
+def profile_to_csv(profile: Dict[str, Dict]) -> str:
+    """Full per-line profile as CSV (every line, every bucket)."""
+    out = io.StringIO()
+    w = csv.writer(out)
+    w.writerow(["function", "line", "total", "busy"]
+               + list(MEM_LEVELS) + ["r_cycles", "a_cycles"])
+    rows = line_totals(profile)
+    for (func, line), r in sorted(rows.items(),
+                                  key=lambda kv: (-kv[1]["total"], kv[0])):
+        w.writerow([func, line, f"{r['total']:.1f}", f"{r['busy']:.1f}"]
+                   + [f"{r['levels'].get(lv, 0.0):.1f}"
+                      for lv in MEM_LEVELS]
+                   + [f"{r['streams']['R']:.1f}",
+                      f"{r['streams']['A']:.1f}"])
     return out.getvalue()
 
 

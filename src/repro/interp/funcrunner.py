@@ -74,6 +74,8 @@ class FunctionalRunner:
     def run(self, max_events: int = 50_000_000):
         """Execute main() to completion; returns self for chaining."""
         vm = VM(self.program, self.program.main_index)
+        if self.probe.prof is not None:
+            self.probe.prof.bind_vm(vm)
         self._run_vm(vm, max_events)
         self.probe.count("func.events", self._instructions)
         return self

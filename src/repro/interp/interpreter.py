@@ -263,6 +263,11 @@ class VM:
         # the event engine.
         self.fast_read = None
         self.fast_write = None
+        # Optional per-line cycle tally installed by a profiling probe:
+        # a dict mapping (function name, source line) -> busy cycles.
+        # When set, run() takes the instrumented twin of the dispatch
+        # loop; when None (the default) the hot loop is untouched.
+        self.profile = None
 
     # ----------------------------------------------------------- interface
 
@@ -293,6 +298,16 @@ class VM:
         """Current call-stack depth."""
         return len(self.frames)
 
+    def position(self):
+        """Current (code, pc) for attribution, or None when no frame is
+        live.  Outside the dispatch loop ``frame.pc`` has already been
+        advanced past the instruction that produced the current event,
+        so the reported pc is clamped back onto it."""
+        if not self.frames:
+            return None
+        f = self.frames[-1]
+        return (f.code, f.pc - 1 if f.pc > 0 else 0)
+
     # ----------------------------------------------------------- execution
 
     def run(self):
@@ -303,6 +318,8 @@ class VM:
         original string-dispatch loop because every instruction's full
         static cost is folded into its tuple at translation time.
         """
+        if self.profile is not None:
+            return self._run_profiled()
         if self.done:
             return Done(self.result)
         if self._pending_push:
@@ -468,6 +485,210 @@ class VM:
                         del stack[len(stack) - arg:]
                         frame.pc = pc + 1
                         self.pending_cycles += cycles + 1
+                        return IoOut(vals)
+                    else:
+                        raise VMError(f"unknown opcode number {num!r}")
+            except IndexError:
+                instrs = code.instrs
+                raise VMError(
+                    f"VM fault in {code.name} at pc={pc}: "
+                    f"{instrs[pc] if pc < len(instrs) else 'pc out of range'}"
+                ) from None
+            self.pending_cycles += cycles
+
+    def _run_profiled(self):
+        """Instrumented twin of :meth:`run` used when ``self.profile``
+        is set: identical dispatch, cycle accounting, and event order,
+        plus (a) every instruction's static cost -- and the +1 rt/print
+        surcharge -- is tallied into ``self.profile`` under its
+        (function name, source line) key, and (b) ``frame.pc`` is
+        synced before the fast_read/fast_write callbacks so the hosting
+        shell's profiling hooks can attribute fast-path memory charges
+        to the precise access site.  The tally only *records*; it never
+        feeds back into control flow or ``pending_cycles``, so cycles
+        stay bit-identical to the unprofiled loop.
+        """
+        if self.done:
+            return Done(self.result)
+        if self._pending_push:
+            raise VMError("event result was never pushed")
+        budget = self.MAX_SLICE
+        frames = self.frames
+        fast_read = self.fast_read
+        fast_write = self.fast_write
+        prof = self.profile
+        while True:
+            frame = frames[-1]
+            code = frame.code
+            try:
+                fi = code._fast
+            except AttributeError:
+                fi = _translate(code)
+            lines = getattr(code, "lines", None)
+            if not lines or len(lines) != len(fi):
+                lines = [0] * len(fi)
+            fname = code.name
+            cur_line = None
+            cur_key = None
+            stack = frame.stack
+            locs = frame.locals
+            pc = frame.pc
+            cycles = 0.0
+            try:
+                while True:
+                    num, arg, cost = fi[pc]
+                    cycles += cost
+                    ln = lines[pc]
+                    if ln != cur_line:
+                        cur_line = ln
+                        cur_key = (fname, ln)
+                    if cost:
+                        prof[cur_key] = prof.get(cur_key, 0.0) + cost
+                    if num == _N_LLOAD:
+                        stack.append(locs[arg])
+                        pc += 1
+                    elif num == _N_CONST:
+                        stack.append(arg)
+                        pc += 1
+                    elif num == _N_BINOP:
+                        b = stack.pop()
+                        a = stack.pop()
+                        stack.append(arg(a, b))
+                        pc += 1
+                    elif num == _N_LSTORE:
+                        locs[arg] = stack.pop()
+                        pc += 1
+                    elif num == _N_ALOAD:
+                        flat = stack.pop()
+                        stack.append(locs[arg][flat].item())
+                        pc += 1
+                    elif num == _N_ASTORE:
+                        v = stack.pop()
+                        flat = stack.pop()
+                        locs[arg][flat] = v
+                        pc += 1
+                    elif num == _N_JUMP:
+                        if arg < pc:
+                            budget -= 1
+                            if budget <= 0:
+                                frame.pc = arg
+                                self.pending_cycles += cycles
+                                return TimeSlice()
+                        pc = arg
+                    elif num == _N_JFALSE:
+                        pc = arg if not stack.pop() else pc + 1
+                    elif num == _N_GELOAD:
+                        flat = stack.pop()
+                        if fast_read is not None:
+                            frame.pc = pc + 1
+                            v = fast_read(arg, flat)
+                            if v is not _MISS:
+                                stack.append(v)
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        self._pending_push = True
+                        return MemRead(arg, flat)
+                    elif num == _N_GESTORE:
+                        v = stack.pop()
+                        flat = stack.pop()
+                        if fast_write is not None:
+                            frame.pc = pc + 1
+                            if fast_write(arg, flat, v):
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        return MemWrite(arg, flat, v)
+                    elif num == _N_GLOAD:
+                        if fast_read is not None:
+                            frame.pc = pc + 1
+                            v = fast_read(arg, 0)
+                            if v is not _MISS:
+                                stack.append(v)
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        self._pending_push = True
+                        return MemRead(arg, 0)
+                    elif num == _N_GSTORE:
+                        v = stack.pop()
+                        if fast_write is not None:
+                            frame.pc = pc + 1
+                            if fast_write(arg, 0, v):
+                                pc += 1
+                                continue
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles
+                        return MemWrite(arg, 0, v)
+                    elif num == _N_NEG:
+                        stack[-1] = -stack[-1]
+                        pc += 1
+                    elif num == _N_NOT:
+                        stack[-1] = 0 if stack[-1] else 1
+                        pc += 1
+                    elif num == _N_DUP:
+                        stack.append(stack[-1])
+                        pc += 1
+                    elif num == _N_POP:
+                        stack.pop()
+                        pc += 1
+                    elif num == _N_JNONE:
+                        if stack[-1] is None:
+                            stack.pop()
+                            pc = arg
+                        else:
+                            pc += 1
+                    elif num == _N_UNPACK2:
+                        a, b = stack.pop()
+                        stack.append(a)
+                        stack.append(b)
+                        pc += 1
+                    elif num == _N_ICALL1:
+                        stack.append(arg(stack.pop()))
+                        pc += 1
+                    elif num == _N_ICALL2:
+                        b = stack.pop()
+                        a = stack.pop()
+                        stack.append(arg(a, b))
+                        pc += 1
+                    elif num == _N_CALL:
+                        fidx, nargs = arg
+                        args = tuple(stack[len(stack) - nargs:])
+                        del stack[len(stack) - nargs:]
+                        frame.pc = pc + 1
+                        nf = Frame(fidx, self.program.funcs[fidx], args)
+                        frames.append(nf)
+                        break           # switch to the new frame
+                    elif num == _N_RET:
+                        rv = stack.pop() if stack else 0
+                        frames.pop()
+                        if not frames:
+                            self.done = True
+                            self.result = rv
+                            self.pending_cycles += cycles
+                            return Done(rv)
+                        frames[-1].stack.append(rv)
+                        break           # back to the caller's frame
+                    elif num == _N_RT:
+                        name, static, nargs = arg
+                        if nargs:
+                            args = tuple(stack[len(stack) - nargs:])
+                            del stack[len(stack) - nargs:]
+                        else:
+                            args = ()
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles + 1
+                        prof[cur_key] = prof.get(cur_key, 0.0) + 1.0
+                        return RtCall(name, static, args)
+                    elif num == _N_PRINT:
+                        vals = tuple(stack[len(stack) - arg:])
+                        del stack[len(stack) - arg:]
+                        frame.pc = pc + 1
+                        self.pending_cycles += cycles + 1
+                        prof[cur_key] = prof.get(cur_key, 0.0) + 1.0
                         return IoOut(vals)
                     else:
                         raise VMError(f"unknown opcode number {num!r}")

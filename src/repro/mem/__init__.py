@@ -4,7 +4,6 @@ from .address import (PRIVATE_BASE, PRIVATE_STRIDE, SHARED_BASE,
                       Placement, SharedAllocator, is_shared_addr,
                       private_base)
 from .cache import Cache, CacheLine, MESIState
-from .classify import ClassStats
 from .directory import DirEntry, Directory, DirState
 from .memsys import (AccessResult, CoherentMemorySystem, NodeMemory,
                      PerfectMemory)
@@ -13,7 +12,6 @@ __all__ = [
     "PRIVATE_BASE", "PRIVATE_STRIDE", "SHARED_BASE",
     "Placement", "SharedAllocator", "is_shared_addr", "private_base",
     "Cache", "CacheLine", "MESIState",
-    "ClassStats",
     "DirEntry", "Directory", "DirState",
     "AccessResult", "CoherentMemorySystem", "NodeMemory", "PerfectMemory",
 ]

@@ -25,7 +25,10 @@ Where the facts go is decided once per run by the :class:`Sink`:
   cost);
 * :class:`TraceSink` aggregates *and* records a Chrome trace-event
   timeline (one track per simulated processor) viewable in Perfetto or
-  ``chrome://tracing``.
+  ``chrome://tracing``;
+* :class:`ProfileSink` (usually behind a :class:`TeeSink` with the
+  aggregate, the ``"profile"`` spec) attributes every simulated cycle
+  to a (function, source line, category, memory level) bucket.
 
 Invariant: probes only ever *record*; no sink interacts with the event
 engine, so simulated cycle counts are bit-identical whichever sink is
@@ -35,7 +38,10 @@ installed (pinned by ``tests/test_obs_determinism.py``).
 from .aggregate import (CATEGORIES, ClassStats, Counter, FETCHERS, KINDS,
                         OUTCOMES, TimeBreakdown, line_outcome)
 from .probe import NULL_PROBE, Probe
-from .sink import AggregateSink, NullSink, Sink, make_sink
+from .profile import (MEM_LEVELS, ProfileSink, TrackProfile,
+                      collapsed_stacks, line_totals, profile_total,
+                      write_collapsed)
+from .sink import AggregateSink, NullSink, Sink, TeeSink, make_sink
 from .trace import (TraceSink, merge_traces, trace_json, validate_trace,
                     write_trace)
 
@@ -43,7 +49,9 @@ __all__ = [
     "CATEGORIES", "ClassStats", "Counter", "FETCHERS", "KINDS",
     "OUTCOMES", "TimeBreakdown", "line_outcome",
     "NULL_PROBE", "Probe",
-    "AggregateSink", "NullSink", "Sink", "make_sink",
+    "AggregateSink", "NullSink", "Sink", "TeeSink", "make_sink",
     "TraceSink", "merge_traces", "trace_json", "validate_trace",
     "write_trace",
+    "MEM_LEVELS", "ProfileSink", "TrackProfile", "collapsed_stacks",
+    "line_totals", "profile_total", "write_collapsed",
 ]

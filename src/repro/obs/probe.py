@@ -27,21 +27,24 @@ class Probe:
 
     ``bd`` / ``counters`` / ``classes`` are the aggregate collectors
     (``None`` when the sink drops that facility); ``emitter`` is the
-    timeline sink hook (``None`` unless a trace is being recorded).
+    timeline sink hook (``None`` unless a trace is being recorded);
+    ``prof`` is the per-line profile recorder (``None`` unless a
+    :class:`~repro.obs.profile.ProfileSink` is live).
     """
 
-    __slots__ = ("track", "bd", "counters", "classes", "emitter")
+    __slots__ = ("track", "bd", "counters", "classes", "emitter", "prof")
 
     def __init__(self, track: str,
                  bd: Optional[TimeBreakdown] = None,
                  counters: Optional[Counter] = None,
                  classes: Optional[ClassStats] = None,
-                 emitter=None):
+                 emitter=None, prof=None):
         self.track = track
         self.bd = bd
         self.counters = counters
         self.classes = classes
         self.emitter = emitter
+        self.prof = prof
 
     # -- counters ------------------------------------------------------------
 
@@ -56,32 +59,49 @@ class Probe:
         """Enter a time category (exclusive-span semantics)."""
         if self.bd is not None:
             self.bd.push(category, now)
+        if self.prof is not None:
+            self.prof.push(category, now)
         if self.emitter is not None:
             self.emitter.emit_begin(self.track, category, now)
 
     def pop(self, now: float) -> Optional[str]:
         """Leave the current category; returns its name (None when
-        span collection is off)."""
+        span collection is off).  Popping with no open span while any
+        collector is live is always a producer bug -- it would silently
+        desynchronize span accounting -- so it raises."""
+        if self.bd is None and self.prof is None:
+            return None
+        if self.depth == 0:
+            raise ValueError(
+                f"pop with no open span on track {self.track!r}")
+        name = None
         if self.bd is not None:
             name = self.bd.pop(now)
-            if self.emitter is not None:
-                self.emitter.emit_end(self.track, name, now)
-            return name
-        return None
+        if self.prof is not None:
+            pname = self.prof.pop(now)
+            if name is None:
+                name = pname
+        if self.emitter is not None and name is not None:
+            self.emitter.emit_end(self.track, name, now)
+        return name
 
     def switch(self, category: str, now: float) -> None:
-        """Replace the top category (settling time first)."""
+        """Replace the top category (settling time first).  Like
+        :meth:`pop`, switching with no open span while a collector is
+        live raises -- there is nothing to replace."""
+        if self.bd is None and self.prof is None:
+            return
+        if self.depth == 0:
+            raise ValueError(
+                f"switch with no open span on track {self.track!r}")
+        replaced = self.current
         if self.bd is not None:
-            if self.emitter is not None:
-                # At depth 0 a switch *pushes* (there is nothing to
-                # replace), so the timeline gets only a begin event.
-                replaced = self.bd.current if self.bd.depth else None
-                self.bd.switch(category, now)
-                if replaced is not None:
-                    self.emitter.emit_end(self.track, replaced, now)
-                self.emitter.emit_begin(self.track, category, now)
-            else:
-                self.bd.switch(category, now)
+            self.bd.switch(category, now)
+        if self.prof is not None:
+            self.prof.switch(category, now)
+        if self.emitter is not None:
+            self.emitter.emit_end(self.track, replaced, now)
+            self.emitter.emit_begin(self.track, category, now)
 
     def close(self, now: float) -> None:
         """Finalize span accounting at end of simulation."""
@@ -90,6 +110,8 @@ class Probe:
             self.bd.close(now)
             if self.emitter is not None:
                 self.emitter.emit_close(self.track, open_cats, now)
+        if self.prof is not None:
+            self.prof.close(now)
 
     def transfer(self, src: str, dst: str, amount: float) -> None:
         """Post-hoc reattribution of span time (aggregate totals only;
@@ -97,21 +119,49 @@ class Probe:
         if self.bd is not None:
             self.bd.reattribute(src, dst, amount)
 
+    # -- profiling -----------------------------------------------------------
+
+    def mem_level(self, level: str) -> None:
+        """Tag the open "memory" span with the level the request was
+        resolved at (l1/l2/local/remote/remote3/merged)."""
+        if self.prof is not None:
+            self.prof.mem_level(level)
+
+    def mem_fast(self, busy: float, stall: float, level: str) -> None:
+        """Record a synchronous fast-path memory access at the current
+        source position (``busy`` access charge; ``stall`` cycles of
+        ``level``-hit latency that the shell will later reattribute
+        busy -> memory)."""
+        if self.prof is not None:
+            self.prof.fast(busy, stall, level)
+
     @property
     def depth(self) -> int:
         """Span-stack depth (0 when span collection is off)."""
-        return self.bd.depth if self.bd is not None else 0
+        if self.bd is not None:
+            return self.bd.depth
+        if self.prof is not None:
+            return self.prof.depth
+        return 0
 
     @property
     def current(self) -> str:
         """Innermost active category ('busy' when off or at depth 0)."""
-        return self.bd.current if self.bd is not None else "busy"
+        if self.bd is not None:
+            return self.bd.current
+        if self.prof is not None:
+            return self.prof.current
+        return "busy"
 
     @property
     def closed(self) -> bool:
         """Span accounting finalized?  (True when collection is off,
         so collectors can skip their close-if-open step.)"""
-        return self.bd.closed if self.bd is not None else True
+        if self.bd is not None:
+            return self.bd.closed
+        if self.prof is not None:
+            return self.prof.closed
+        return True
 
     def get(self, category: str) -> float:
         """Aggregated time in one category (0.0 when off)."""
@@ -141,7 +191,7 @@ class Probe:
                 self.track, f"classify.{fetcher}-{kind}-{outcome}", now, None)
 
     def __repr__(self) -> str:
-        on = [s for s in ("bd", "counters", "classes", "emitter")
+        on = [s for s in ("bd", "counters", "classes", "emitter", "prof")
               if getattr(self, s) is not None]
         return f"Probe({self.track!r}, on={on})"
 

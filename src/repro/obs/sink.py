@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Union
 from .aggregate import ClassStats, Counter, TimeBreakdown
 from .probe import NULL_PROBE, Probe
 
-__all__ = ["Sink", "NullSink", "AggregateSink", "make_sink"]
+__all__ = ["Sink", "NullSink", "AggregateSink", "TeeSink", "make_sink"]
 
 
 class Sink:
@@ -61,6 +61,11 @@ class Sink:
 
     def trace_events(self) -> Optional[List[dict]]:
         """Finalized timeline events, or None for non-tracing sinks."""
+        return None
+
+    def profile_data(self) -> Optional[Dict[str, dict]]:
+        """Per-track line-profile data, or None for non-profiling
+        sinks (see :class:`~repro.obs.profile.ProfileSink`)."""
         return None
 
     # -- subclass hooks ------------------------------------------------------
@@ -103,9 +108,58 @@ class AggregateSink(Sink):
         return None
 
 
+class TeeSink(Sink):
+    """Compose several sinks behind one probe per track.
+
+    Each child mints its own probe for a track; the tee then hands out
+    a single :class:`Probe` carrying the union of the children's
+    collector slots (first child providing a facility wins), so
+    producers record once and every child sees it.  The run-wide query
+    surface (``classes`` / ``counters`` / ``breakdowns``) aliases the
+    first child's collectors, which keeps consumers written against
+    :class:`AggregateSink` working unchanged when it is the primary.
+    """
+
+    _SLOTS = ("bd", "counters", "classes", "emitter", "prof")
+
+    def __init__(self, *children: Sink):
+        if not children:
+            raise ValueError("TeeSink needs at least one child sink")
+        super().__init__()
+        self.children = children
+        primary = children[0]
+        self.classes = primary.classes
+        self.counters = primary.counters
+        self.breakdowns = primary.breakdowns
+
+    def _make_probe(self, track: str, start: float) -> Probe:
+        probes = [c.probe(track, start) for c in self.children]
+        slots = {}
+        for name in self._SLOTS:
+            slots[name] = next(
+                (getattr(p, name) for p in probes
+                 if getattr(p, name) is not None), None)
+        return Probe(track, **slots)
+
+    def trace_events(self) -> Optional[List[dict]]:
+        for c in self.children:
+            events = c.trace_events()
+            if events is not None:
+                return events
+        return None
+
+    def profile_data(self) -> Optional[Dict[str, dict]]:
+        for c in self.children:
+            data = c.profile_data()
+            if data is not None:
+                return data
+        return None
+
+
 def make_sink(spec: Union[None, str, Sink] = None) -> Sink:
     """Resolve a sink selection: None / "aggregate" (default),
-    "null"/"off", "trace", or an already-built :class:`Sink`."""
+    "null"/"off", "trace", "profile", or an already-built
+    :class:`Sink`."""
     if isinstance(spec, Sink):
         return spec
     if spec is None or spec == "aggregate":
@@ -115,5 +169,8 @@ def make_sink(spec: Union[None, str, Sink] = None) -> Sink:
     if spec == "trace":
         from .trace import TraceSink  # deferred: trace builds on this module
         return TraceSink()
-    raise ValueError(f"unknown sink spec {spec!r} "
-                     "(expected 'aggregate', 'null', 'trace', or a Sink)")
+    if spec == "profile":
+        from .profile import ProfileSink  # deferred, like trace
+        return TeeSink(AggregateSink(), ProfileSink())
+    raise ValueError(f"unknown sink spec {spec!r} (expected 'aggregate', "
+                     "'null', 'trace', 'profile', or a Sink)")

@@ -56,6 +56,9 @@ class RunResult:
     channel_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
     rt_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     trace: Optional[List[dict]] = None   # Chrome trace events (TraceSink)
+    #: Per-track line profile (ProfileSink): track -> {(func, line,
+    #: category, level): cycles}.  None unless the run was profiled.
+    profile: Optional[Dict[str, Dict]] = None
 
     @property
     def time_ns(self) -> float:
@@ -274,7 +277,8 @@ class Machine:
             recoveries=self.recoveries,
             channel_stats=chan_stats,
             rt_stats=rt_stats,
-            trace=self.obs.trace_events())
+            trace=self.obs.trace_events(),
+            profile=self.obs.profile_data())
 
 
 def run_program(program: CompiledProgram,

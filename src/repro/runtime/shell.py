@@ -52,6 +52,9 @@ class ThreadShell:
         self.cpu = cpu
         self.name = f"{role}{tid}@n{node}c{cpu}"
         self.probe = machine.obs.probe(self.name, start=machine.engine.now)
+        # Cached profile recorder (None unless a ProfileSink is live):
+        # the memory fast paths test this once per access.
+        self._prof = self.probe.prof
         self.vm: Optional[VM] = None
         self.channel = None             # PairChannel, slipstream mode only
         self.pair: Optional["ThreadShell"] = None
@@ -80,6 +83,13 @@ class ThreadShell:
 
     def _pop(self) -> None:
         self.probe.pop(self.machine.engine.now)
+
+    def _bind_vm(self, vm: VM) -> VM:
+        """Install a (new) VM, attaching the line profiler when live."""
+        self.vm = vm
+        if self._prof is not None:
+            self._prof.bind_vm(vm)
+        return vm
 
     # ------------------------------------------------------- effective state
 
@@ -125,7 +135,9 @@ class ThreadShell:
         if top:
             self._push("memory")
         try:
-            yield from ms.load(self.node, self.cpu, addr, self.role)
+            res = yield from ms.load(self.node, self.cpu, addr, self.role)
+            if top and res is not None:
+                self.probe.mem_level(res.level)
         finally:
             if top:
                 self._pop()
@@ -136,8 +148,10 @@ class ThreadShell:
         if top:
             self._push("memory")
         try:
-            yield from self.machine.memsys.store(self.node, self.cpu, addr,
-                                                 self.role)
+            res = yield from self.machine.memsys.store(self.node, self.cpu,
+                                                       addr, self.role)
+            if top and res is not None:
+                self.probe.mem_level(res.level)
         finally:
             if top:
                 self._pop()
@@ -157,6 +171,8 @@ class ThreadShell:
         """VM callback: synchronous load path for cache hits."""
         if self.dormant:
             self._debt += 1.0
+            if self._prof is not None:
+                self._prof.fast(1.0, 0.0, "l1")
             return self.machine.store.read(gidx, flat)
         if self._debt > self.DEBT_LIMIT:
             return MISS
@@ -169,6 +185,9 @@ class ThreadShell:
         if lat > 1.0:
             self.fast_mem_cycles += lat - 1.0
             self._debt += lat - 1.0
+        if self._prof is not None:
+            self._prof.fast(1.0, lat - 1.0 if lat > 1.0 else 0.0,
+                            "l1" if lat <= 1.0 else "l2")
         return self.machine.store.read(gidx, flat)
 
     def _fast_write(self, gidx: int, flat: int, value) -> bool:
@@ -177,10 +196,14 @@ class ThreadShell:
         if self.role == "A":
             if self.dormant or not self._same_session():
                 self._debt += 1.0
+                if self._prof is not None:
+                    self._prof.fast(1.0, 0.0, "l1")
                 return True
             addr = self.machine.gaddr(gidx, flat)
             if not self.machine.memsys.prefetch_would_fire(self.node, addr):
                 self._debt += 1.0
+                if self._prof is not None:
+                    self._prof.fast(1.0, 0.0, "l1")
                 return True
             return False               # slow path issues the prefetch
         addr = self.machine.gaddr(gidx, flat)
@@ -190,6 +213,9 @@ class ThreadShell:
             return False
         self._debt += lat
         self.fast_mem_cycles += lat - 1.0
+        if self._prof is not None:
+            self._prof.fast(1.0, lat - 1.0,
+                            "l1" if lat <= 1.0 else "l2")
         self.machine.store.write(gidx, flat, value)
         return True
 
@@ -270,8 +296,8 @@ class ThreadShell:
             while True:
                 try:
                     if not self._restored:
-                        self.vm = VM(self.machine.program,
-                                     self.machine.program.main_index)
+                        self._bind_vm(VM(self.machine.program,
+                                         self.machine.program.main_index))
                     self._restored = False
                     result = yield from self._vm_loop()
                     if self.role == "R":
@@ -313,8 +339,8 @@ class ThreadShell:
                         self.in_region = True
                         if self.channel is not None and self.role == "R":
                             self.channel.begin_region(*job.slip_setting)
-                        self.vm = VM(self.machine.program, job.fidx,
-                                     job.args)
+                        self._bind_vm(VM(self.machine.program, job.fidx,
+                                         job.args))
                     self._restored = False
                     yield from self._vm_loop()
                     yield from self._job_epilogue(done_w)
@@ -388,8 +414,8 @@ class ThreadShell:
         self.machine.unpark(self)
         if snap["frames"] is not None:
             if self.vm is None:
-                self.vm = VM(self.machine.program,
-                             self.machine.program.main_index)
+                self._bind_vm(VM(self.machine.program,
+                                 self.machine.program.main_index))
             self.vm.restore(snap["frames"])
         self.site_seq = dict(snap["site_seq"])
         self.active_loops = {

@@ -2,10 +2,8 @@
 
 from .engine import Engine, Interrupt, Process, SimEvent, SimulationError
 from .resources import Mutex, Semaphore, Server
-from .stats import CATEGORIES, Counter, TimeBreakdown
 
 __all__ = [
     "Engine", "Interrupt", "Process", "SimEvent", "SimulationError",
     "Mutex", "Semaphore", "Server",
-    "CATEGORIES", "Counter", "TimeBreakdown",
 ]

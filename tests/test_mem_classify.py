@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.mem import ClassStats
 from repro.mem.cache import CacheLine, MESIState
+from repro.obs import ClassStats
 
 
 def test_record_and_query():

@@ -204,19 +204,54 @@ def test_trace_sink_emits_matched_spans():
                      ("i", "token.insert"), ("E", "busy")]
 
 
-def test_trace_sink_switch_at_depth_zero_only_begins():
-    """A switch on an empty stack pushes; the timeline must not emit a
-    dangling 'E' for the implicit base category."""
+def test_trace_sink_switch_replaces_cleanly():
+    """A genuine switch emits E(old)+B(new), never a dangling 'E' for
+    the implicit base category."""
     s = TraceSink()
     p = s.probe("cpu0", start=0.0)
-    p.switch("idle", 1.0)        # depth 0 -> becomes a push
+    p.push("idle", 1.0)
     p.switch("jobwait", 2.0)     # depth 1 -> genuine replace
-    p.close(3.0)
+    p.pop(3.0)
+    p.close(4.0)
     events = s.trace_events()
     assert validate_trace(events) == []
     names = [(e["ph"], e["name"]) for e in events if e["ph"] != "M"]
     assert names == [("B", "busy"), ("B", "idle"), ("E", "idle"),
                      ("B", "jobwait"), ("E", "jobwait"), ("E", "busy")]
+
+
+def test_probe_pop_and_switch_on_empty_stack_raise():
+    """Regression: a pop/switch with no open span used to silently
+    desynchronize span accounting (pop) or invent a span (switch);
+    with any collector live it must fail loudly instead."""
+    bd = TimeBreakdown(start=0.0)
+    p = Probe("cpu0", bd=bd)
+    with pytest.raises(ValueError, match="pop with no open span"):
+        p.pop(1.0)
+    with pytest.raises(ValueError, match="switch with no open span"):
+        p.switch("idle", 1.0)
+    # A balanced sequence still works and totals are unperturbed.
+    p.push("lock", 2.0)
+    p.switch("memory", 3.0)
+    assert p.pop(5.0) == "memory"
+    with pytest.raises(ValueError, match="pop with no open span"):
+        p.pop(6.0)
+    p.close(10.0)
+    assert p.as_dict() == {"busy": 7.0, "lock": 1.0, "memory": 2.0}
+
+
+def test_profile_only_probe_validates_like_bd():
+    """The empty-stack guard must hold when the profiler is the only
+    live collector (bd is None)."""
+    from repro.obs import TrackProfile
+    p = Probe("cpu0", prof=TrackProfile("cpu0", start=0.0))
+    with pytest.raises(ValueError, match="pop with no open span"):
+        p.pop(1.0)
+    with pytest.raises(ValueError, match="switch with no open span"):
+        p.switch("idle", 1.0)
+    p.push("lock", 2.0)
+    assert p.depth == 1
+    assert p.pop(3.0) == "lock"
 
 
 def test_trace_sink_finalizes_unclosed_tracks():
@@ -230,6 +265,42 @@ def test_trace_sink_finalizes_unclosed_tracks():
     tail = [e for e in events if e["ph"] == "E" and e["tid"] == 1]
     assert [e["ts"] for e in tail] == [9.0, 9.0]   # memory, then busy
     assert s.trace_events() is events              # idempotent
+
+
+def test_trace_sink_zero_event_run():
+    """A run that records nothing still yields a valid (possibly
+    empty) timeline: no spans, no dangling metadata."""
+    s = TraceSink()
+    assert s.trace_events() == []
+    assert validate_trace(s.trace_events()) == []
+    s2 = TraceSink()
+    p = s2.probe("cpu0", start=0.0)
+    p.close(0.0)                  # zero-length track, no spans
+    events = s2.trace_events()
+    assert validate_trace(events) == []
+    spans = [e for e in events if e["ph"] in ("B", "E")]
+    # Only the implicit base category, opened and closed at t=0.
+    assert [(e["ph"], e["name"], e["ts"]) for e in spans] == [
+        ("B", "busy", 0.0), ("E", "busy", 0.0)]
+
+
+def test_trace_sink_run_ending_with_open_spans():
+    """A simulation cut off mid-span (deadlock diagnosis, max-cycles
+    abort) must still export a validating timeline: every open span is
+    closed at the final timestamp, deepest first."""
+    s = TraceSink()
+    p = s.probe("cpu0", start=0.0)
+    p.push("barrier", 2.0)
+    p.push("memory", 3.0)         # both still open at the end
+    q = s.probe("cpu1", start=0.0)
+    q.push("lock", 1.0)
+    q.close(8.0)                  # this track's close sets the end ts
+    events = s.trace_events()
+    assert validate_trace(events) == []
+    cpu0_ends = [e for e in events
+                 if e["ph"] == "E" and e["tid"] == 1]
+    assert [e["name"] for e in cpu0_ends] == ["memory", "barrier", "busy"]
+    assert all(e["ts"] == 8.0 for e in cpu0_ends)
 
 
 def test_trace_sink_classify_emits_instant():

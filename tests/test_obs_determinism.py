@@ -2,10 +2,11 @@
 
 Simulated cycle counts (the golden table of ``test_determinism.py``)
 must be bit-identical whether observability is off (NullSink), totals
-only (AggregateSink, the default), or fully traced (TraceSink) --
-probes record, they never touch the engine.  And specs carrying a sink
-selection must survive the process-pool path with results identical to
-serial execution.
+only (AggregateSink, the default), fully traced (TraceSink), or
+line-profiled (ProfileSink behind a TeeSink) -- probes record, they
+never touch the engine.  And specs carrying a sink selection must
+survive the process-pool path with results identical to serial
+execution.
 """
 
 import pickle
@@ -34,7 +35,7 @@ GOLDEN_CLASSES = {"A-rdex-late": 10, "A-rdex-only": 1, "A-rdex-timely": 62,
 @pytest.fixture(scope="module")
 def runs():
     return {obs: run_benchmark("cg", "G0", cfg=CFG, size="test", obs=obs)
-            for obs in ("aggregate", "null", "trace")}
+            for obs in ("aggregate", "null", "trace", "profile")}
 
 
 def test_cycles_identical_across_sinks(runs):
@@ -76,6 +77,41 @@ def test_trace_is_valid_and_only_on_trace_sink(runs):
     assert any(k.startswith("coh.") for k in kinds)
     assert any(k.startswith("token.") for k in kinds)
     assert any(k.startswith("classify.") for k in kinds)
+
+
+def test_profile_sink_loses_no_aggregate_data(runs):
+    agg, pr = runs["aggregate"].result, runs["profile"].result
+    assert pr.r_breakdown == GOLDEN_R_BREAKDOWN
+    assert pr.breakdowns == agg.breakdowns
+    assert pr.classes.as_dict() == GOLDEN_CLASSES
+    assert pr.rt_stats == agg.rt_stats
+    assert pr.profile            # and it actually profiled
+
+
+def test_profile_totals_match_breakdowns(runs):
+    """Cycle-exactness: per shell track, the profile's per-category
+    totals equal the breakdown's -- every simulated cycle of every
+    stream is attributed to some source line, none twice."""
+    r = runs["profile"].result
+    assert r.profile is not None
+    for track, bd in r.breakdowns.items():
+        per_track = r.profile.get(track, {})
+        by_cat = {}
+        for (_f, _l, cat, _lv), c in per_track.items():
+            by_cat[cat] = by_cat.get(cat, 0.0) + c
+        assert by_cat == {k: v for k, v in bd.items() if v}, track
+
+
+def test_pool_merge_matches_serial_with_profiling():
+    kw = dict(cfg=CFG, size="test", benchmarks=("cg",),
+              configs=("single", "G0"), obs="profile")
+    serial = run_static_suite(context=SerialContext(), **kw)
+    pooled = run_static_suite(context=ProcessPoolContext(jobs=2), **kw)
+    for cfg_name in ("single", "G0"):
+        s, p = serial["cg"][cfg_name], pooled["cg"][cfg_name]
+        assert s.cycles == p.cycles
+        assert s.result.profile == p.result.profile
+        assert s.result.profile
 
 
 def test_runspec_with_sink_selection_pickles():

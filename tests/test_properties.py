@@ -10,10 +10,10 @@ from hypothesis import strategies as st
 
 from repro.config import CacheConfig, PAPER_MACHINE
 from repro.interp.interpreter import _binop
-from repro.mem import (Cache, ClassStats, MESIState, Placement,
+from repro.mem import (Cache, MESIState, Placement,
                        SharedAllocator, is_shared_addr)
 from repro.mem.address import SHARED_BASE
-from repro.sim import TimeBreakdown
+from repro.obs import ClassStats, TimeBreakdown
 
 # --------------------------------------------------------------------- cache
 

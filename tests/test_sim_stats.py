@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Counter, TimeBreakdown
+from repro.obs import Counter, TimeBreakdown
 
 
 def test_counter_add_get_merge():
