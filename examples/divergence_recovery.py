@@ -73,8 +73,9 @@ def show(title: str, source: str, expected: float,
     r = run_program(image, cfg=CFG, mode="slipstream", env=env)
     print(f"{title}:")
     print(f"  recoveries: {len(r.recoveries)}")
-    for who, reason in r.recoveries[:4]:
-        print(f"    {who}: {reason}")
+    for who, reason, site in r.recoveries[:4]:
+        at = f" (site {site})" if site is not None else ""
+        print(f"    {who}: {reason}{at}")
     ok = all(v == expected for v in r.store.array("a"))
     print(f"  results correct after recovery: {ok} "
           f"(a[*] == {expected})")

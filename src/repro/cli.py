@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     python -m repro check prog.c          # shared/private classification
     python -m repro bench cg mg --size test --cmps 4
     python -m repro profile run prog.c --mode slipstream --top 10
+    python -m repro chaos --seeds 2 -j 2 --report chaos.json
 
 This is the analogue of driving the paper's toolchain: one compiled
 image, execution mode and slipstream policy chosen at run time.
@@ -26,7 +27,7 @@ from .harness import render_speedups, run_static_suite
 from .interp import FunctionalRunner
 from .lang import analyze, parse
 from .lang.errors import CompileError
-from .runtime import RuntimeEnv, run_program
+from .runtime import RuntimeEnv, SimDeadlockError, run_program
 from .runtime.env import parse_slipstream
 
 __all__ = ["main"]
@@ -35,6 +36,16 @@ __all__ = ["main"]
 def _machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--cmps", type=int, default=16,
                    help="number of dual-processor CMP nodes (default 16)")
+
+
+def _chaos_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--timeout-cycles", type=float, default=None,
+                   metavar="N",
+                   help="watchdog: abort the simulation with a blocked-"
+                        "process report once N cycles elapse")
+    p.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                   help="arm deterministic fault injection with this seed "
+                        "(all fault classes)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--trace", metavar="OUT.json",
                       help="write a Chrome trace-event timeline of the "
                            "run (open in Perfetto / chrome://tracing)")
+    _chaos_args(runp)
 
     prof = sub.add_parser("profile",
                           help="cycle-exact source-line profiling")
@@ -113,6 +125,30 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="profile every run; write merged collapsed "
                           "stacks to OUT and print the hot-line table")
     _machine_args(ben)
+    _chaos_args(ben)
+
+    cha = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection matrix with the output oracle")
+    cha.add_argument("names", nargs="*", default=[],
+                     help="benchmarks (default: cg lu mg)")
+    cha.add_argument("--size", default="test", choices=["test", "bench"])
+    cha.add_argument("--seeds", type=int, default=2, metavar="N",
+                     help="fault seeds per benchmark/scenario (default 2)")
+    cha.add_argument("--chaos-seed", type=int, default=0, metavar="SEED",
+                     help="base seed the matrix seeds derive from")
+    cha.add_argument("--classes", default=None, metavar="C1,C2",
+                     help="restrict to one scenario arming exactly these "
+                          "fault classes (default: one scenario per class "
+                          "plus all classes together)")
+    cha.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                     help="process-pool workers (default serial)")
+    cha.add_argument("--timeout-cycles", type=float, default=None,
+                     metavar="N",
+                     help="per-run watchdog budget (default 5e6)")
+    cha.add_argument("--report", metavar="OUT.json",
+                     help="write the full machine-readable report")
+    _machine_args(cha)
     return ap
 
 
@@ -134,8 +170,8 @@ def _cmd_run(args, out) -> int:
     source = open(args.file).read()
     image = compile_source(source)
     if args.mode == "functional":
-        if args.trace:
-            print("--trace requires a simulated mode "
+        if args.trace or args.chaos_seed is not None:
+            print("--trace/--chaos-seed require a simulated mode "
                   "(single/double/slipstream)", file=sys.stderr)
             return 2
         runner = FunctionalRunner(image, inputs=args.inputs).run()
@@ -143,10 +179,16 @@ def _cmd_run(args, out) -> int:
             print(*row, file=out)
         return 0
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
+    kw = {}
+    if args.chaos_seed is not None:
+        from .faults import FaultConfig
+        kw["faults"] = FaultConfig(args.chaos_seed)
+    if args.timeout_cycles is not None:
+        kw["max_cycles"] = args.timeout_cycles
     result = run_program(image, cfg=cfg, mode=args.mode,
                          env=_env_from_args(args), inputs=args.inputs,
                          selfinv=args.selfinv,
-                         obs="trace" if args.trace else "aggregate")
+                         obs="trace" if args.trace else "aggregate", **kw)
     for row in result.output:
         print(*row, file=out)
     if args.trace:
@@ -156,6 +198,10 @@ def _cmd_run(args, out) -> int:
               f"({len(result.trace)} events)", file=out)
     print(f"[{args.mode}] {result.cycles:,.0f} cycles on {args.cmps} CMPs",
           file=out)
+    if result.faults is not None:
+        print(f"  chaos: seed {args.chaos_seed}, "
+              f"{len(result.faults['fired'])} injection(s), "
+              f"{len(result.recoveries)} recovery(ies)", file=out)
     if args.stats:
         for cat, frac in sorted(result.breakdown_fractions().items(),
                                 key=lambda kv: -kv[1]):
@@ -257,8 +303,14 @@ def _cmd_bench(args, out) -> int:
         kw["obs"] = "trace"
     elif args.profile:
         kw["obs"] = "profile"
+    if args.chaos_seed is not None:
+        from .faults import FaultConfig
+        kw["faults"] = FaultConfig(args.chaos_seed)
+    if args.timeout_cycles is not None:
+        kw["timeout_cycles"] = args.timeout_cycles
+    context = make_context(args.jobs)
     suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names,
-                             context=make_context(args.jobs), **kw)
+                             context=context, **kw)
     print(render_speedups(
         suite, title=f"mini-NPB ({args.size} size, {args.cmps} CMPs)"),
         file=out)
@@ -293,7 +345,61 @@ def _cmd_bench(args, out) -> int:
               file=out)
         print(f"collapsed stacks written to {args.profile} "
               f"({len(stacks)} lines, {n_runs} runs)", file=out)
-    return 0
+    return _report_degraded(context)
+
+
+def _report_degraded(context) -> int:
+    """Surface pool degradation (worker crashes): warn and exit 3 so
+    automation notices, even though every result was still produced."""
+    if not getattr(context, "degraded", False):
+        return 0
+    for ev in getattr(context, "events", []):
+        print(f"warning: {ev}", file=sys.stderr)
+    print("warning: process pool degraded to serial execution; results "
+          "are complete but -j parallelism was lost", file=sys.stderr)
+    return 3
+
+
+def _cmd_chaos(args, out) -> int:
+    from .harness.chaos import (CHAOS_BENCHMARKS, DEFAULT_TIMEOUT_CYCLES,
+                                chaos_specs, render_chaos, run_chaos)
+    from .npb import REGISTRY
+    names = tuple(args.names) or CHAOS_BENCHMARKS
+    bad = [n for n in names if n not in REGISTRY]
+    if bad:
+        print(f"unknown benchmark(s): {bad}", file=sys.stderr)
+        return 2
+    from .harness import make_context
+    classes = ([tuple(args.classes.split(","))] if args.classes else None)
+    if classes:
+        from .faults import FAULT_CLASSES
+        bad_cls = [c for c in classes[0] if c not in FAULT_CLASSES]
+        if bad_cls:
+            print(f"unknown fault class(es): {bad_cls} (choose from "
+                  f"{', '.join(FAULT_CLASSES)})", file=sys.stderr)
+            return 2
+    specs = chaos_specs(
+        benchmarks=names, seeds=args.seeds, base_seed=args.chaos_seed,
+        classes=classes, size=args.size,
+        cfg=PAPER_MACHINE.with_(n_cmps=args.cmps),
+        timeout_cycles=args.timeout_cycles or DEFAULT_TIMEOUT_CYCLES)
+    context = make_context(args.jobs)
+    report = run_chaos(specs, context=context)
+    print(render_chaos(report, title=f"chaos matrix ({args.size} size, "
+                                     f"{args.cmps} CMPs)"), file=out)
+    if args.report:
+        import json
+        with open(args.report, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+        print(f"report written to {args.report}", file=out)
+    if not report.ok:
+        failed = [o for o in report.outcomes if not o.ok]
+        print(f"error: {len(failed)} of {len(report.outcomes)} scenarios "
+              f"violated the fault-tolerance invariant "
+              f"({', '.join(sorted({o.status for o in failed}))})",
+              file=sys.stderr)
+        return 1
+    return _report_degraded(context)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -311,13 +417,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_check(args, out)
         if args.cmd == "bench":
             return _cmd_bench(args, out)
+        if args.cmd == "chaos":
+            return _cmd_chaos(args, out)
     except CompileError as e:
         print(f"compile error: {e}", file=sys.stderr)
         return 1
     except FileNotFoundError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    return 0
+    except SimDeadlockError as e:
+        # One actionable line, not a traceback: which run, how far it
+        # got, and that --timeout-cycles / the deadlock detector fired.
+        print(f"error: {e.summary}", file=sys.stderr)
+        print("hint: raise --timeout-cycles if the run just needs more "
+              "budget; e.blocked (SimDeadlockError) lists every blocked "
+              "process and what it is waiting on", file=sys.stderr)
+        return 4
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
                      run_dynamic_suite, run_static_suite)
 from .exec import (ExecutionContext, ProcessPoolContext, RunSpec,
                    SerialContext, execute_spec, make_context)
+from .chaos import (CHAOS_BENCHMARKS, ChaosOutcome, ChaosReport,
+                    chaos_specs, oracle_check, render_chaos, run_chaos)
 
 __all__ = [
     "BREAKDOWN_CATEGORIES", "benchmark_inventory", "breakdown_table",
@@ -23,4 +25,6 @@ __all__ = [
     "profile_to_csv", "suite_to_csv", "suite_to_markdown",
     "ExecutionContext", "ProcessPoolContext", "RunSpec", "SerialContext",
     "execute_spec", "make_context",
+    "CHAOS_BENCHMARKS", "ChaosOutcome", "ChaosReport", "chaos_specs",
+    "oracle_check", "render_chaos", "run_chaos",
 ]

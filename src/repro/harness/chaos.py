@@ -1,0 +1,341 @@
+"""Chaos harness: seeded fault matrices, the output oracle, reports.
+
+This is the adversarial proof of the paper's correctness claim: a
+matrix of seeded :class:`~repro.faults.FaultConfig` campaigns is run
+over the mini-NPB kernels, and every faulted run's R-stream results are
+checked against a fault-free serial reference execution of the same
+compiled image (the **output oracle**).  A-stream corruption may cost
+recovery cycles but must never change program output -- a scenario can
+end "clean" or "recovered", never "wrong-output" or "hang".
+
+The reference chain has two links: faulted runs must reproduce a
+fault-free machine run of the same spec (to within reduction-order
+ULPs -- see the oracle section below), and that baseline is anchored
+to an independent serial :class:`~repro.interp.FunctionalRunner` pass.
+Both references are memoized and compiled through the content-
+addressed compile cache, so a 30-scenario matrix pays for at most a
+handful of reference executions.
+
+Everything here is deterministic: the same ``(benchmarks, seeds,
+classes)`` arguments build the same spec list, and each spec's
+injection schedule derives only from its config seed -- a chaos matrix
+can be regression-gated exactly like cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..faults import CLASS_KINDS, FAULT_CLASSES, FaultConfig
+from ..interp.funcrunner import FunctionalRunner
+from ..npb import REGISTRY
+from .exec import ExecutionContext, RunSpec, SerialContext, execute_spec
+from .runner import BenchRun
+
+__all__ = ["CHAOS_BENCHMARKS", "SCENARIO_CLASS_SETS", "ChaosOutcome",
+           "ChaosReport", "chaos_specs", "run_chaos", "oracle_check",
+           "render_chaos"]
+
+#: Default kernels of the chaos matrix: CG and MG exercise the dynamic-
+#: scheduling mailbox, LU the static path.
+CHAOS_BENCHMARKS = ("cg", "lu", "mg")
+
+#: One scenario per fault class plus an everything-armed scenario.
+SCENARIO_CLASS_SETS: Tuple[Tuple[str, ...], ...] = (
+    ("vm",), ("channel",), ("kill",), ("net",), FAULT_CLASSES)
+
+#: Watchdog budget for chaos runs.  Test-size runs finish well under
+#: 5e5 cycles, so a 5e6 ceiling converts any injected hang into a
+#: structured SimDeadlockError in bounded wall time.
+DEFAULT_TIMEOUT_CYCLES = 5e6
+
+#: Oracle tolerances: the machine's reductions associate differently
+#: from the serial reference, so allow slightly more slack than the
+#: NPB verifiers' 1e-9 (both paths already pass those).
+_ORACLE_RTOL = 1e-8
+_ORACLE_ATOL = 1e-10
+
+
+def chaos_specs(benchmarks: Iterable[str] = CHAOS_BENCHMARKS,
+                seeds: int = 2, base_seed: int = 0,
+                classes: Optional[Sequence[Sequence[str]]] = None,
+                size: str = "test",
+                cfg: MachineConfig = PAPER_MACHINE,
+                timeout_cycles: float = DEFAULT_TIMEOUT_CYCLES
+                ) -> List[RunSpec]:
+    """Build the seeded fault matrix: every benchmark x ``seeds`` seeds
+    x scenario class set, all under the G0 slipstream configuration.
+
+    Scenarios arming the ``channel`` class run with dynamic scheduling
+    (where supported) so the mailbox actually carries traffic for
+    ``mailbox_stale`` to corrupt.
+    """
+    class_sets = [tuple(c) for c in (classes or SCENARIO_CLASS_SETS)]
+    specs: List[RunSpec] = []
+    for bench in benchmarks:
+        for s in range(seeds):
+            for j, cls in enumerate(class_sets):
+                seed = base_seed * 10_000 + s * 100 + j
+                schedule = (("dynamic", 4)
+                            if "channel" in cls and bench != "lu"
+                            else None)
+                specs.append(RunSpec.make(
+                    bench, "G0", size=size, schedule=schedule, cfg=cfg,
+                    verify=True, faults=FaultConfig(seed, classes=cls),
+                    timeout_cycles=timeout_cycles, capture_errors=True))
+    return specs
+
+
+# -- output oracle ----------------------------------------------------------
+#
+# The oracle is a two-link chain:
+#
+#   faulted machine run  ~=  fault-free machine run of the same spec
+#   fault-free machine run  ~=  serial FunctionalRunner reference
+#
+# The first link compares *every* global (including scratch state like
+# LU's pipeline flags, which a serial reference legitimately leaves at
+# different values) and all output rows.  It is tolerance-based, not
+# bit-exact, for one reason only: the runtime merges OpenMP reduction
+# partials in arrival order, and OpenMP leaves that order unspecified
+# -- so a legal timing perturbation (even pure network jitter) may
+# re-associate a reduction and drift the result a few ULPs.  Any
+# genuine value corruption leaking out of the A-stream is orders of
+# magnitude beyond these tolerances.  The second link anchors the
+# chain to an independent serial execution of the same compiled image.
+
+#: baseline spec.key -> (global arrays, output rows) of the fault-free
+#: machine run.  Compilation inside goes through the content-addressed
+#: compile cache, so this memo only saves re-execution.
+_BASE_CACHE: Dict[Tuple, Tuple] = {}
+
+#: (bench, size, params) -> serial-anchor verdict (None = ok).
+_ANCHOR_CACHE: Dict[Tuple, Optional[str]] = {}
+
+
+def _baseline(spec: RunSpec) -> Tuple:
+    """Fault-free machine run of the same spec (memoized by identity)."""
+    base = replace(spec, faults=None, timeout_cycles=None,
+                   capture_errors=False)
+    hit = _BASE_CACHE.get(base.key)
+    if hit is None:
+        result = execute_spec(base).result
+        hit = _BASE_CACHE[base.key] = (
+            list(result.store.arrays), list(result.output))
+    return hit
+
+
+def _serial_anchor(spec: RunSpec, base_output) -> Optional[str]:
+    """Check the fault-free machine baseline against an independent
+    serial FunctionalRunner pass of the same compiled image."""
+    key = (spec.bench, spec.size, spec.params)
+    if key not in _ANCHOR_CACHE:
+        image = REGISTRY[spec.bench].compile(spec.size,
+                                             **dict(spec.params))
+        ref = FunctionalRunner(image).run()
+        verdict = None
+        if len(base_output) != len(ref.output):
+            verdict = (f"serial anchor: output rows {len(base_output)}"
+                       f" != reference {len(ref.output)}")
+        else:
+            for i, (got, want) in enumerate(zip(base_output, ref.output)):
+                if len(got) != len(want) or not all(
+                        _cell_close(a, b) for a, b in zip(got, want)):
+                    verdict = (f"serial anchor: output row {i}: machine "
+                               f"{tuple(got)!r} vs serial {tuple(want)!r}")
+                    break
+        _ANCHOR_CACHE[key] = verdict
+    return _ANCHOR_CACHE[key]
+
+
+def _cell_close(a, b) -> bool:
+    """Output rows mix labels and numbers; floats get tolerance."""
+    if isinstance(a, float) or isinstance(b, float):
+        return bool(np.isclose(a, b, rtol=_ORACLE_RTOL,
+                               atol=_ORACLE_ATOL))
+    return a == b
+
+
+def oracle_check(spec: RunSpec, result) -> Optional[str]:
+    """Compare a (possibly faulted) run's architectural results against
+    the fault-free reference chain.  Returns a mismatch description, or
+    None when the paper's invariant holds."""
+    base_arrays, base_output = _baseline(spec)
+    anchor = _serial_anchor(spec, base_output)
+    if anchor is not None:
+        return anchor
+    for gidx, g in enumerate(result.store.program.globals):
+        got = result.store.arrays[gidx]
+        want = base_arrays[gidx]
+        close = np.isclose(got, want, rtol=_ORACLE_RTOL,
+                           atol=_ORACLE_ATOL, equal_nan=True)
+        if not close.all():
+            bad = int(np.argmax(~close))
+            return (f"global {g.name!r}[{bad}]: got {got[bad]!r}, "
+                    f"fault-free machine {want[bad]!r}")
+    if len(result.output) != len(base_output):
+        return (f"output row count: got {len(result.output)}, "
+                f"fault-free machine {len(base_output)}")
+    for i, (got, want) in enumerate(zip(result.output, base_output)):
+        if len(got) != len(want) or not all(
+                _cell_close(a, b) for a, b in zip(got, want)):
+            return (f"output row {i}: got {tuple(got)!r}, "
+                    f"fault-free machine {tuple(want)!r}")
+    return None
+
+
+# -- outcomes ---------------------------------------------------------------
+
+@dataclass
+class ChaosOutcome:
+    """One scenario's verdict."""
+
+    bench: str
+    config: str
+    seed: int
+    classes: Tuple[str, ...]
+    #: "clean" | "recovered" | "hang" | "wrong-output" | "crash"
+    status: str
+    oracle: str                       # "ok" | "skipped" | mismatch text
+    recoveries: int = 0
+    #: Barrier sites divergence was detected at (source-attributable
+    #: via the image's site table; negative ids = end-of-region joins).
+    recovery_sites: List[Optional[int]] = field(default_factory=list)
+    injected: Dict[str, int] = field(default_factory=dict)
+    cycles: float = float("nan")
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the paper's invariant hold for this scenario?"""
+        return self.status in ("clean", "recovered")
+
+    def to_json(self) -> dict:
+        return {"bench": self.bench, "config": self.config,
+                "seed": self.seed, "classes": list(self.classes),
+                "status": self.status, "oracle": self.oracle,
+                "recoveries": self.recoveries,
+                "recovery_sites": self.recovery_sites,
+                "injected": dict(self.injected),
+                "cycles": None if self.cycles != self.cycles
+                else self.cycles,
+                "error": self.error}
+
+
+@dataclass
+class ChaosReport:
+    """A whole matrix's outcomes plus harness-health notes."""
+
+    outcomes: List[ChaosOutcome]
+    degraded: bool = False
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Zero hangs, zero wrong outputs, zero crashes."""
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(o.recoveries for o in self.outcomes)
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for o in self.outcomes:
+            counts[o.status] = counts.get(o.status, 0) + 1
+        return counts
+
+    def class_recovery(self) -> Dict[str, bool]:
+        """Per fault class: did any scenario arming it both fire one of
+        its kinds and trigger at least one recovery?  (``net`` jitter is
+        protocol-legal and can only co-occur with recoveries via the
+        all-classes scenarios -- see DESIGN.md §7.)"""
+        cov = {}
+        for cls in FAULT_CLASSES:
+            kinds = set(CLASS_KINDS[cls])
+            cov[cls] = any(
+                cls in o.classes and o.recoveries > 0
+                and any(k in kinds for k in o.injected)
+                for o in self.outcomes)
+        return cov
+
+    def to_json(self) -> dict:
+        return {"ok": self.ok,
+                "summary": {"scenarios": len(self.outcomes),
+                            "statuses": self.status_counts(),
+                            "recoveries": self.total_recoveries,
+                            "class_recovery": self.class_recovery()},
+                "degraded": self.degraded,
+                "events": list(self.events),
+                "scenarios": [o.to_json() for o in self.outcomes]}
+
+
+def _classify(spec: RunSpec, run: BenchRun) -> ChaosOutcome:
+    seed = spec.faults.seed if spec.faults is not None else 0
+    classes = spec.faults.classes if spec.faults is not None else ()
+    if run.error is not None:
+        return ChaosOutcome(spec.bench, spec.config, seed, classes,
+                            status=run.error_kind or "crash",
+                            oracle="skipped", error=run.error)
+    result = run.result
+    mismatch = oracle_check(spec, result)
+    injected: Dict[str, int] = {}
+    if result.faults is not None:
+        for f in result.faults["fired"]:
+            injected[f["kind"]] = injected.get(f["kind"], 0) + 1
+    if mismatch is not None:
+        status, oracle = "wrong-output", mismatch
+    else:
+        status = "recovered" if result.recoveries else "clean"
+        oracle = "ok"
+    return ChaosOutcome(
+        spec.bench, spec.config, seed, classes, status=status,
+        oracle=oracle, recoveries=len(result.recoveries),
+        recovery_sites=[site for _, _, site in result.recoveries],
+        injected=injected, cycles=result.cycles)
+
+
+def run_chaos(specs: Sequence[RunSpec],
+              context: Optional[ExecutionContext] = None) -> ChaosReport:
+    """Execute a fault matrix and classify every scenario."""
+    specs = list(specs)
+    context = context or SerialContext()
+    runs = context.run(specs)
+    return ChaosReport(
+        outcomes=[_classify(s, r) for s, r in zip(specs, runs)],
+        degraded=getattr(context, "degraded", False),
+        events=list(getattr(context, "events", [])))
+
+
+def render_chaos(report: ChaosReport, title: str = "chaos matrix") -> str:
+    """Human-readable scenario table plus the summary verdict."""
+    lines = [title, "=" * len(title),
+             f"{'scenario':<22} {'classes':<24} {'fired':>5} "
+             f"{'recov':>5}  status"]
+    for o in report.outcomes:
+        name = f"{o.bench}/{o.config} seed={o.seed}"
+        fired = sum(o.injected.values())
+        status = o.status if o.ok else f"** {o.status} **"
+        lines.append(f"{name:<22} {','.join(o.classes):<24} "
+                     f"{fired:>5} {o.recoveries:>5}  {status}")
+        if o.error:
+            lines.append(f"    {o.error}")
+        elif o.oracle not in ("ok", "skipped"):
+            lines.append(f"    oracle: {o.oracle}")
+    counts = ", ".join(f"{v} {k}" for k, v in
+                       sorted(report.status_counts().items()))
+    lines.append(f"{len(report.outcomes)} scenarios: {counts}; "
+                 f"{report.total_recoveries} recoveries")
+    cov = report.class_recovery()
+    lines.append("recovery coverage: " + ", ".join(
+        f"{c}={'yes' if ok else 'no'}" for c, ok in sorted(cov.items())))
+    for ev in report.events:
+        lines.append(f"harness: {ev}")
+    lines.append("oracle verdict: "
+                 + ("OK -- faults never changed program output"
+                    if report.ok else "FAILED"))
+    return "\n".join(lines)

@@ -26,18 +26,22 @@ bit-identical across worker counts and submission orders.  The
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..faults import FaultConfig
 from ..npb import REGISTRY
-from ..runtime import run_program
+from ..runtime import SimDeadlockError, run_program
 from .runner import BenchRun, _env_for, _mode_for
 
 __all__ = ["RunSpec", "ExecutionContext", "SerialContext",
            "ProcessPoolContext", "execute_spec", "make_context"]
+
+_LOG = logging.getLogger("repro.harness.exec")
 
 
 @dataclass(frozen=True)
@@ -58,25 +62,40 @@ class RunSpec:
     cfg: MachineConfig = PAPER_MACHINE
     verify: bool = True
     machine_kw: Tuple[Tuple[str, Any], ...] = ()
+    #: Seeded fault campaign (chaos runs); the FaultPlan is rebuilt
+    #: from this inside each worker, so schedules are identical for
+    #: serial and pooled execution.
+    faults: Optional[FaultConfig] = None
+    #: Watchdog cycle budget (None = machine default).
+    timeout_cycles: Optional[float] = None
+    #: Capture failures as BenchRun.error instead of raising (chaos
+    #: matrices must survive a hanging or wrong run and keep sweeping).
+    capture_errors: bool = False
 
     @staticmethod
     def make(bench: str, config: str, size: str = "bench",
              schedule: Optional[Tuple[str, Optional[int]]] = None,
              params: Optional[Dict[str, int]] = None,
              cfg: MachineConfig = PAPER_MACHINE,
-             verify: bool = True, **machine_kw) -> "RunSpec":
+             verify: bool = True,
+             faults: Optional[FaultConfig] = None,
+             timeout_cycles: Optional[float] = None,
+             capture_errors: bool = False, **machine_kw) -> "RunSpec":
         """Build a spec from the :func:`run_benchmark` argument shapes."""
         return RunSpec(
             bench=bench, config=config, size=size, schedule=schedule,
             params=tuple(sorted((params or {}).items())),
             cfg=cfg, verify=verify,
-            machine_kw=tuple(sorted(machine_kw.items())))
+            machine_kw=tuple(sorted(machine_kw.items())),
+            faults=faults, timeout_cycles=timeout_cycles,
+            capture_errors=capture_errors)
 
     @property
     def key(self) -> Tuple:
         """Stable identity used to merge results deterministically."""
         return (self.bench, self.config, self.size, self.schedule,
-                self.params, self.cfg, self.machine_kw)
+                self.params, self.cfg, self.machine_kw, self.faults,
+                self.timeout_cycles)
 
     def __str__(self) -> str:
         extra = f" {dict(self.params)}" if self.params else ""
@@ -90,16 +109,44 @@ def execute_spec(spec: RunSpec) -> BenchRun:
     :func:`repro.harness.run_benchmark` -- so serial and pooled sweeps
     cannot drift apart.  Per-stage wall-clock timings are recorded on
     the returned run for the perf baseline.
+
+    With ``spec.capture_errors``, failures (watchdog expiry, a wrong
+    result, a crash) come back as ``BenchRun.error``/``error_kind``
+    instead of raising, so a chaos sweep records the outcome and keeps
+    going.
     """
+    try:
+        return _execute(spec)
+    except Exception as e:                    # noqa: BLE001 - classified
+        if not spec.capture_errors:
+            raise
+        if isinstance(e, SimDeadlockError):
+            kind, msg = "hang", e.summary
+        elif isinstance(e, AssertionError):
+            kind, msg = "wrong-output", f"verification failed: {e}"
+        else:
+            kind, msg = "crash", f"{type(e).__name__}: {e}"
+        run = BenchRun(spec.bench, spec.config, None, {})
+        run.error = msg
+        run.error_kind = kind
+        return run
+
+
+def _execute(spec: RunSpec) -> BenchRun:
     ks = REGISTRY[spec.bench]
     overrides = dict(spec.params)
     full_params = ks.params(spec.size, **overrides)
+    run_kw: Dict[str, Any] = dict(spec.machine_kw)
+    if spec.faults is not None:
+        run_kw["faults"] = spec.faults
+    if spec.timeout_cycles is not None:
+        run_kw["max_cycles"] = spec.timeout_cycles
     t0 = time.perf_counter()
     image = ks.compile(spec.size, **overrides)
     t1 = time.perf_counter()
     result = run_program(image, cfg=spec.cfg, mode=_mode_for(spec.config),
                          env=_env_for(spec.config, spec.schedule),
-                         **dict(spec.machine_kw))
+                         **run_kw)
     t2 = time.perf_counter()
     if spec.verify:
         ks.verify(result.store, spec.size, **overrides)
@@ -143,14 +190,26 @@ class SerialContext(ExecutionContext):
 
 
 class ProcessPoolContext(ExecutionContext):
-    """Fan specs out over a ``multiprocessing`` pool.
+    """Fan specs out over a process pool, hardened against worker loss.
 
     Results are merged by submission index, so the output order -- and
     therefore every downstream table -- is identical to
     :class:`SerialContext`'s; only wall-clock changes.  ``jobs``
     defaults to the host's CPU count.  Batches of one spec (or
     ``jobs=1``) run inline: a pool would only add fork overhead.
+
+    Crash handling: a killed or crashed worker (``BrokenProcessPool``)
+    costs one bounded retry of the unfinished specs on a fresh pool;
+    if that fails too, the remainder degrades gracefully to in-process
+    serial execution.  Degradation is never silent: it is logged, and
+    recorded on :attr:`events` / :attr:`degraded` for callers (the CLI
+    turns it into a non-zero exit).  Exceptions raised *by a spec*
+    (verification failures, watchdog expiry) still propagate normally
+    -- only worker-process loss is retried.
     """
+
+    #: Pool passes before degrading to serial (initial try + 1 retry).
+    max_pool_attempts = 2
 
     def __init__(self, jobs: Optional[int] = None,
                  start_method: Optional[str] = None, chunksize: int = 1):
@@ -158,25 +217,71 @@ class ProcessPoolContext(ExecutionContext):
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs or os.cpu_count() or 1
         self.start_method = start_method
-        self.chunksize = chunksize
+        self.chunksize = chunksize      # kept for API compatibility
+        #: Human-readable record of retries/degradation (last run()).
+        self.events: List[str] = []
+        #: True when any spec of the last run() fell back to serial.
+        self.degraded = False
 
     def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
         specs = list(specs)
-        nworkers = min(self.jobs, len(specs))
-        if nworkers <= 1:
+        self.events = []
+        self.degraded = False
+        if min(self.jobs, len(specs)) <= 1:
             return SerialContext().run(specs)
-        import multiprocessing as mp
-        ctx = mp.get_context(self.start_method)
         results: List[Optional[BenchRun]] = [None] * len(specs)
-        with ctx.Pool(nworkers) as pool:
-            for index, run in pool.imap_unordered(
-                    _execute_indexed, list(enumerate(specs)),
-                    chunksize=self.chunksize):
-                results[index] = run
-        missing = [str(s) for s, r in zip(specs, results) if r is None]
-        if missing:                  # unreachable unless a worker died
-            raise RuntimeError(f"pool lost results for {missing}")
+        pending = list(range(len(specs)))
+        for attempt in range(self.max_pool_attempts):
+            if not pending:
+                break
+            pending = self._pool_pass(specs, results, pending, attempt)
+        if pending:
+            self.degraded = True
+            self._note(f"degrading to serial execution for "
+                       f"{len(pending)} of {len(specs)} spec(s)")
+            for i in pending:
+                results[i] = execute_spec(specs[i])
         return results               # type: ignore[return-value]
+
+    def _pool_pass(self, specs: List[RunSpec],
+                   results: List[Optional[BenchRun]],
+                   pending: List[int], attempt: int) -> List[int]:
+        """One pool attempt over ``pending``; returns what's still
+        unfinished (non-empty only after a worker crash)."""
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+        ctx = mp.get_context(self.start_method)
+        broken = False
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending)),
+                    mp_context=ctx) as pool:
+                futures = {pool.submit(_execute_indexed, (i, specs[i])): i
+                           for i in pending}
+                for fut in as_completed(futures):
+                    try:
+                        index, run = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    results[index] = run
+        except BrokenProcessPool:
+            broken = True
+        remaining = [i for i in pending if results[i] is None]
+        if remaining:
+            what = ("retrying once on a fresh pool"
+                    if attempt + 1 < self.max_pool_attempts
+                    else "falling back to serial execution")
+            why = ("pool worker crashed" if broken
+                   else "pool lost results")
+            self._note(f"{why}: {len(remaining)} of {len(specs)} spec(s) "
+                       f"unfinished after attempt {attempt + 1}; {what}")
+        return remaining
+
+    def _note(self, msg: str) -> None:
+        self.events.append(msg)
+        _LOG.warning(msg)
 
 
 def make_context(jobs: Optional[int]) -> ExecutionContext:

@@ -39,15 +39,23 @@ class BenchRun:
 
     bench: str
     config: str                  # "single" | "double" | "G0" | "L1" | ...
-    result: RunResult
+    result: Optional[RunResult]
     params: Dict[str, int] = field(default_factory=dict)
     #: wall-clock stage split recorded by the execution layer
     #: ({"compile_s", "sim_s", "verify_s", "total_s"})
     timing: Dict[str, float] = field(default_factory=dict)
+    #: Captured failure (chaos runs with ``capture_errors`` only):
+    #: one-line description and its kind ("hang"|"wrong-output"|
+    #: "crash").  ``result`` is None when set.
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
 
     @property
     def cycles(self) -> float:
-        """Simulated execution time of this run (cycles)."""
+        """Simulated execution time of this run (cycles; NaN when the
+        run failed and the error was captured)."""
+        if self.result is None:
+            return float("nan")
         return self.result.cycles
 
     def speedup_over(self, base: "BenchRun") -> float:

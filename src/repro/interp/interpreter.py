@@ -15,7 +15,7 @@ and are drained by the hosting shell with ``take_cycles()``.
 from __future__ import annotations
 
 import math
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -292,6 +292,32 @@ class VM:
         self.frames = [f.clone() for f in snap]
         self.done = False
         self._pending_push = False
+
+    def corrupt(self, spec: Tuple[int, object]) -> Optional[str]:
+        """Deterministically corrupt one scalar of architectural state
+        (fault injection: a soft error in the speculative A-stream's
+        register file).  ``spec`` is a precomputed ``(selector, value)``
+        pair from a seeded FaultPlan; the selector picks among the top
+        frame's numeric stack/local slots, so identical runs corrupt
+        identical slots.  Called from outside the dispatch loop -- the
+        hot path carries no injection code.  Returns a description of
+        the corrupted slot, or None when no scalar slot exists."""
+        if not self.frames:
+            return None
+        sel, value = spec
+        frame = self.frames[-1]
+        slots = [("stack", i) for i, v in enumerate(frame.stack)
+                 if isinstance(v, (int, float))]
+        slots += [("local", i) for i, v in enumerate(frame.locals)
+                  if isinstance(v, (int, float))]
+        if not slots:
+            return None
+        where, i = slots[sel % len(slots)]
+        if where == "stack":
+            frame.stack[i] = value
+        else:
+            frame.locals[i] = value
+        return f"{where}[{i}]={value!r} in {frame.code.name}"
 
     @property
     def depth(self) -> int:

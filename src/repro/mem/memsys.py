@@ -130,6 +130,16 @@ class CoherentMemorySystem:
         the sink, shared with every other producer of the run)."""
         return self.obs.classes
 
+    def arm_faults(self, plan) -> None:
+        """Arm deterministic network-jitter injection on every node's
+        network-interface servers.  Jitter only stretches serve times
+        within protocol-legal bounds (the interconnect gives no timing
+        guarantees), so it can perturb A-R skew but never correctness.
+        """
+        for nm in self.nodes:
+            nm.ni_in.faults = plan
+            nm.ni_out.faults = plan
+
     # ------------------------------------------------------------------ utils
 
     def line_addr(self, addr: int) -> int:

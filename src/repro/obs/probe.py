@@ -179,6 +179,19 @@ class Probe:
         if self.emitter is not None:
             self.emitter.emit_instant(self.track, name, now, args)
 
+    # -- fault injection -----------------------------------------------------
+
+    def fault(self, kind: str, now: float,
+              args: Optional[dict] = None) -> None:
+        """Record one injected fault (chaos runs): a ``fault.<kind>``
+        counter plus a timeline instant, so traces show exactly when
+        each injection landed."""
+        if self.counters is not None:
+            self.counters.add(f"fault.{kind}")
+        if self.emitter is not None:
+            self.emitter.emit_instant(self.track, f"fault.{kind}", now,
+                                      args)
+
     # -- classification ------------------------------------------------------
 
     def classify(self, fetcher: str, kind: str, outcome: str,

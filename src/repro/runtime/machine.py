@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..compiler.bytecode import CompiledProgram
 from ..config.machine import MachineConfig, PAPER_MACHINE
+from ..faults import FaultConfig, FaultPlan
 from ..interp.funcrunner import GlobalStore
 from ..mem.address import SHARED_BASE, SHARED_LIMIT
 from ..mem.memsys import CoherentMemorySystem
@@ -30,7 +31,8 @@ from .shell import ThreadShell
 from .team import Team
 from .words import RTWord
 
-__all__ = ["Machine", "RunResult", "run_program", "MODES"]
+__all__ = ["Machine", "RunResult", "run_program", "MODES",
+           "SimDeadlockError", "DeadlockError"]
 
 MODES = ("single", "double", "slipstream")
 
@@ -52,13 +54,20 @@ class RunResult:
     r_breakdown: Dict[str, float]
     classes: object                  # ClassStats
     mem_stats: object                # Counter
-    recoveries: List[Tuple[str, str]]
+    #: (shell name, reason, barrier site) per divergence recovery; the
+    #: site is the barrier at which the R-stream detected divergence
+    #: (negative ids are synthetic end-of-region joins, None means the
+    #: detection point had no site).
+    recoveries: List[Tuple[str, str, Optional[int]]]
     channel_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
     rt_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     trace: Optional[List[dict]] = None   # Chrome trace events (TraceSink)
     #: Per-track line profile (ProfileSink): track -> {(func, line,
     #: category, level): cycles}.  None unless the run was profiled.
     profile: Optional[Dict[str, Dict]] = None
+    #: Fault-injection report (FaultPlan.report()): seed, schedule and
+    #: the fired injections.  None unless a plan was armed.
+    faults: Optional[dict] = None
 
     @property
     def time_ns(self) -> float:
@@ -73,8 +82,60 @@ class RunResult:
         return {k: v / tot for k, v in self.r_breakdown.items()}
 
 
-class DeadlockError(RuntimeError):
-    pass
+class SimDeadlockError(RuntimeError):
+    """Structured simulation-hang diagnostic.
+
+    Raised when the event queue drains with streams still unfinished
+    (``kind="deadlock"``) or when the watchdog's cycle/step budget
+    expires (``kind="watchdog"``).  Carries a machine-readable table of
+    every stream -- name, state, the event it is waiting on, and its
+    current time category -- so a hang converts into an actionable
+    report instead of an opaque timeout.
+    """
+
+    def __init__(self, kind: str, cycle: float, mode: str,
+                 blocked: List[Dict[str, str]], detail: str = ""):
+        self.kind = kind                 # "deadlock" | "watchdog"
+        self.cycle = cycle
+        self.mode = mode
+        self.blocked = blocked
+        self.detail = detail
+        lines = [self.summary]
+        if blocked:
+            w = max(len(r["process"]) for r in blocked)
+            w = max(w, len("process"))
+            lines.append(f"  {'process':<{w}}  {'state':<8}  "
+                         f"{'waiting on':<22}  category")
+            for r in blocked:
+                lines.append(f"  {r['process']:<{w}}  {r['state']:<8}  "
+                             f"{r['waiting_on']:<22}  {r['category']}")
+        super().__init__("\n".join(lines))
+
+    def __reduce__(self):
+        # Exception pickling replays __init__ with .args (the rendered
+        # message) by default, which doesn't match this signature --
+        # and an unpicklable worker exception masquerades as a pool
+        # crash.  Rebuild from the structured fields instead.
+        return (SimDeadlockError, (self.kind, self.cycle, self.mode,
+                                   self.blocked, self.detail))
+
+    @property
+    def summary(self) -> str:
+        """One-line actionable description (what the CLI prints)."""
+        what = ("deadlocked" if self.kind == "deadlock"
+                else "watchdog expired")
+        s = f"simulation {what} at {self.cycle:.0f} cycles (mode={self.mode})"
+        if self.detail:
+            s += f": {self.detail}"
+        stuck = sum(1 for r in self.blocked
+                    if r["state"] in ("blocked", "parked"))
+        if stuck:
+            s += f"; {stuck} blocked stream(s)"
+        return s
+
+
+#: Backward-compatible alias (pre-watchdog name).
+DeadlockError = SimDeadlockError
 
 
 class Machine:
@@ -89,7 +150,8 @@ class Machine:
                  sections_static: bool = False,
                  sync_after_reduction: bool = False,
                  io_cycles: float = 200.0,
-                 obs="aggregate"):
+                 obs="aggregate",
+                 faults: Optional[FaultConfig] = None):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}")
         if mode in ("double", "slipstream") and cfg.cpus_per_cmp < 2:
@@ -121,7 +183,7 @@ class Machine:
         self.output: List[Tuple] = []
         self.inputs: List[float] = []
         self._input_pos = 0
-        self.recoveries: List[Tuple[str, str]] = []
+        self.recoveries: List[Tuple[str, str, Optional[int]]] = []
         self._parked: List[ThreadShell] = []
         self._done = False
         self._result = None
@@ -132,6 +194,22 @@ class Machine:
         self.shells: List[ThreadShell] = []
         self.channels: Dict[int, PairChannel] = {}
         self._build_shells()
+
+        # Fault injection: materialize the seeded plan and arm every
+        # hook.  Armed hooks only ever touch A-streams, channels, and
+        # protocol-legal NI delays -- never R-stream state -- so a
+        # faulted run must still produce correct output (the paper's
+        # invariant the chaos harness asserts).
+        self.fault_plan: Optional[FaultPlan] = None
+        if faults is not None:
+            plan = self.fault_plan = FaultPlan(faults)
+            plan.bind(self.engine, self.obs.probe("faults"))
+            for ch in self.channels.values():
+                ch.faults = plan
+            for shell in self.shells:
+                if shell.role == "A":
+                    shell.arm_faults(plan)
+            self.memsys.arm_faults(plan)
 
     # ------------------------------------------------------------- topology
 
@@ -186,11 +264,15 @@ class Machine:
         self._done = True
         self._result = result
 
-    def log_recovery(self, shell: ThreadShell, reason: str) -> None:
-        """Record a divergence-recovery event."""
-        self.recoveries.append((shell.name, reason))
+    def log_recovery(self, shell: ThreadShell, reason: str,
+                     site: Optional[int] = None) -> None:
+        """Record a divergence-recovery event.  ``site`` is the barrier
+        site at which the R-stream detected divergence (negative for
+        synthetic end-of-region joins), so reports can attribute
+        recoveries to source lines via the image's site table."""
+        self.recoveries.append((shell.name, reason, site))
         shell.probe.instant("slip.recovery", self.engine.now,
-                            {"reason": reason})
+                            {"reason": reason, "site": site})
         shell.probe.count("slip.recoveries")
 
     def note_parked(self, shell: ThreadShell) -> None:
@@ -218,23 +300,48 @@ class Machine:
         steps = 0
         while not self._done:
             if not self.engine.step():
-                raise DeadlockError(
-                    f"simulation deadlocked at {self.engine.now:.0f} cycles "
-                    f"(mode={self.mode}); parked={[]}".replace(
-                        "[]", str([s.name for s in self._parked])))
+                raise self._hang_error("deadlock", "no runnable process")
             steps += 1
             if self.engine.now > max_cycles:
-                raise RuntimeError(
-                    f"exceeded max_cycles={max_cycles:g} "
-                    f"(mode={self.mode})")
+                raise self._hang_error(
+                    "watchdog",
+                    f"cycle budget max_cycles={max_cycles:g} exhausted")
             if steps > max_steps:
-                raise RuntimeError(f"exceeded max_steps={max_steps}")
+                raise self._hang_error(
+                    "watchdog",
+                    f"step budget max_steps={max_steps} exhausted")
         end = self.engine.now
         for shell in self.shells:
             if shell.proc.alive:
                 shell.proc.kill()
         self.memsys.finalize()
         return self._collect(end)
+
+    def _hang_error(self, kind: str, detail: str) -> SimDeadlockError:
+        """Build the structured hang diagnostic (deadlock or watchdog):
+        one row per stream with its state and wait reason."""
+        rows: List[Dict[str, str]] = []
+        for shell in self.shells:
+            proc = shell.proc
+            if proc is None:
+                state, waiting = "unstarted", "-"
+            elif not proc.alive or shell.finished:
+                state, waiting = "finished", "-"
+            elif shell in self._parked:
+                state = "parked"
+                waiting = (proc._waiting_on.name or "<event>"
+                           if proc._waiting_on is not None else "-")
+            elif proc._waiting_on is not None:
+                state = "blocked"
+                waiting = proc._waiting_on.name or "<event>"
+            else:
+                state, waiting = "runnable", "-"
+            category = (shell.probe.current
+                        if not shell.probe.closed else "-")
+            rows.append({"process": shell.name, "state": state,
+                         "waiting_on": waiting, "category": category})
+        return SimDeadlockError(kind, self.engine.now, self.mode, rows,
+                                detail)
 
     def _collect(self, end: float) -> RunResult:
         self.memsys.publish_cache_stats()
@@ -278,7 +385,9 @@ class Machine:
             channel_stats=chan_stats,
             rt_stats=rt_stats,
             trace=self.obs.trace_events(),
-            profile=self.obs.profile_data())
+            profile=self.obs.profile_data(),
+            faults=(self.fault_plan.report()
+                    if self.fault_plan is not None else None))
 
 
 def run_program(program: CompiledProgram,
@@ -286,6 +395,11 @@ def run_program(program: CompiledProgram,
                 mode: str = "single",
                 env: Optional[RuntimeEnv] = None,
                 inputs: Optional[List[float]] = None,
+                max_cycles: float = 2e9,
+                max_steps: int = 200_000_000,
                 **kw) -> RunResult:
-    """Convenience: build a machine and run the image once."""
-    return Machine(program, cfg, mode, env, **kw).run(inputs=inputs)
+    """Convenience: build a machine and run the image once.
+    ``max_cycles``/``max_steps`` bound the watchdog (a hang raises a
+    structured :class:`SimDeadlockError` instead of running forever)."""
+    return Machine(program, cfg, mode, env, **kw).run(
+        inputs=inputs, max_cycles=max_cycles, max_steps=max_steps)

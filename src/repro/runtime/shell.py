@@ -69,6 +69,9 @@ class ThreadShell:
         self.proc = None                # sim.Process, set by the machine
         self._restored = False
         self.finished = False
+        #: FaultPlan (A-streams only, armed by the machine); every hook
+        #: is a single is-None test so disarmed runs are bit-identical.
+        self._faults = None
         # Synchronous-hit accounting: busy cycles and cache-hit stall
         # cycles accumulated outside the event engine, flushed as one
         # lump before the next real event.  fast_mem_cycles is moved
@@ -83,6 +86,10 @@ class ThreadShell:
 
     def _pop(self) -> None:
         self.probe.pop(self.machine.engine.now)
+
+    def arm_faults(self, plan) -> None:
+        """Arm the seeded fault plan on this (A-stream) shell."""
+        self._faults = plan
 
     def _bind_vm(self, vm: VM) -> VM:
         """Install a (new) VM, attaching the line profiler when live."""
@@ -267,25 +274,63 @@ class ThreadShell:
                 raise
             self._debt += vm.take_cycles()
             yield from self._flush_debt()
+            if self._faults is not None:
+                yield from self._inject_faults()
             k = type(ev)
-            if k is MemRead:
-                yield from self._mem_read(ev)
-            elif k is MemWrite:
-                yield from self._mem_write(ev)
-            elif k is RtCall:
-                yield from self._rt(ev)
-            elif k is IoOut:
-                yield from self._io_out(ev)
-            elif k is TimeSlice:
-                continue                # debt already flushed above
-            else:                       # Done
-                return ev.value
+            try:
+                if k is MemRead:
+                    yield from self._mem_read(ev)
+                elif k is MemWrite:
+                    yield from self._mem_write(ev)
+                elif k is RtCall:
+                    yield from self._rt(ev)
+                elif k is IoOut:
+                    yield from self._io_out(ev)
+                elif k is TimeSlice:
+                    continue            # debt already flushed above
+                else:                   # Done
+                    return ev.value
+            except (VMError, ArithmeticError, IndexError, TypeError,
+                    ValueError, KeyError, AssertionError,
+                    OverflowError) as e:
+                if self.role != "A":
+                    raise
+                # Speculative fault escaping into the shell's slow path
+                # (e.g. a corrupted index resolving to a wild address
+                # that trips the memory system's validity checks).
+                # Both assertion sites fire before any resource is
+                # acquired, so parking here leaks nothing.
+                if self.channel is not None:
+                    self.channel.mark_fault(
+                        f"speculative {k.__name__} fault: {e}")
+                yield from self._park()
 
     def _park(self):
         """Block forever (until interrupted by recovery or teardown)."""
         self.machine.note_parked(self)
         yield self.machine.engine.event(name=f"park:{self.name}")
         raise RuntimeError(f"{self.name}: park event fired unexpectedly")
+
+    def _inject_faults(self):
+        """One A-stream injection opportunity (armed plans only).
+
+        Corruption perturbs the speculative VM's architectural state;
+        spurious faults and kills park the stream exactly like an
+        organic speculative fault, so the R-stream repairs it at its
+        next barrier -- the recovery path under test.
+        """
+        plan = self._faults
+        spec = plan.fire("a_corrupt", self.name)
+        if spec is not None and self.vm is not None:
+            self.vm.corrupt(spec)
+        if plan.fire("a_vmfault", self.name) is not None:
+            if self.channel is not None:
+                self.channel.mark_fault("injected spurious VM fault")
+            yield from self._park()
+        if plan.fire("a_kill", self.name) is not None:
+            if self.channel is not None:
+                self.channel.mark_fault("injected A-stream kill")
+            yield from self._park()
 
     # -------------------------------------------------------------- top level
 
@@ -367,7 +412,7 @@ class ThreadShell:
                 ch.r_reached_barrier(site)
                 reason = ch.divergence_detected()
                 if reason is not None:
-                    self._do_recovery(reason)
+                    self._do_recovery(reason, site)
                 if ch.sync_type == "LOCAL_SYNC":
                     ch.insert_token()
             yield from word_store(self, done_w, job.gen)
@@ -388,12 +433,13 @@ class ThreadShell:
 
     # ----------------------------------------------------- recovery plumbing
 
-    def _do_recovery(self, reason: str) -> None:
+    def _do_recovery(self, reason: str, site: Optional[int] = None) -> None:
         """R-stream side: re-fork the A-stream from our state (§2.2:
-        'recovery is invoked if divergence is detected')."""
+        'recovery is invoked if divergence is detected').  ``site`` is
+        the barrier site at which we detected the divergence."""
         a = self.pair
         ch = self.channel
-        self.machine.log_recovery(self, reason)
+        self.machine.log_recovery(self, reason, site)
         ch.pending_restore = {
             "frames": self.vm.snapshot() if self.vm is not None else None,
             "site_seq": dict(self.site_seq),
@@ -508,7 +554,7 @@ class ThreadShell:
                 ch.r_reached_barrier(site)
                 reason = ch.divergence_detected()
                 if reason is not None:
-                    self._do_recovery(reason)
+                    self._do_recovery(reason, site)
                 if ch.sync_type == "LOCAL_SYNC":
                     ch.insert_token()
             if job is not None and not job.serial:
@@ -551,7 +597,7 @@ class ThreadShell:
                 ch.r_reached_barrier(site)
                 reason = ch.divergence_detected()
                 if reason is not None:
-                    self._do_recovery(reason)
+                    self._do_recovery(reason, site)
                 if ch.sync_type == "LOCAL_SYNC":
                     ch.insert_token()
             self.machine.memsys.bump_epoch(self.node)
@@ -694,7 +740,8 @@ class ThreadShell:
             self._pop()
         if not ok:
             self.channel.mark_fault(
-                f"mailbox mismatch at {kind} site {site} #{idx}")
+                f"mailbox mismatch at {kind} site {site} #{idx}",
+                site=site)
             yield from self._park()
         return payload
 

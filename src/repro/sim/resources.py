@@ -32,7 +32,7 @@ class Server:
 
     __slots__ = ("engine", "name", "units", "_busy", "_waiters",
                  "total_requests", "total_service", "total_queue_wait",
-                 "max_queue_len")
+                 "max_queue_len", "faults")
 
     def __init__(self, engine: Engine, name: str, units: int = 1):
         if units < 1:
@@ -46,9 +46,20 @@ class Server:
         self.total_service = 0.0
         self.total_queue_wait = 0.0
         self.max_queue_len = 0
+        #: FaultPlan (armed on network-interface servers only): adds
+        #: bounded, protocol-legal jitter to scheduled serve() calls.
+        #: None = injection off; the hook is one attribute test.
+        self.faults = None
 
     def serve(self, duration: float):
         """Generator: acquire a unit, hold it for ``duration``, release."""
+        if self.faults is not None:
+            extra = self.faults.fire("net_jitter", self.name)
+            if extra is not None:
+                # Injected network jitter: the message is merely slower,
+                # never lost or reordered against the FIFO queue, so the
+                # coherence protocol's correctness is untouched.
+                duration += extra
         self.total_requests += 1
         start = self.engine.now
         if self._busy >= self.units:

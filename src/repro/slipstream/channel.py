@@ -49,6 +49,12 @@ class PairChannel:
         self.a_fault_reason: Optional[str] = None
         self.sync_type = "GLOBAL_SYNC"
         self.initial_tokens = 0
+        #: Site index attached to the pending A-stream fault (None when
+        #: the faulting site is unknown, e.g. a wild VM fault).
+        self.a_fault_site: Optional[int] = None
+        #: FaultPlan armed by the machine (None = injection off; every
+        #: hook is a single is-None test).
+        self.faults = None
         # statistics
         self.recoveries = 0
         self.tokens_consumed = 0
@@ -72,6 +78,16 @@ class PairChannel:
 
     def insert_token(self) -> None:
         """R-stream inserts one token (Fig. 1)."""
+        if self.faults is not None and \
+                self.faults.fire("token_loss", f"chan:n{self.node}") \
+                is not None:
+            # Injected token loss: the release is swallowed.  Protocol-
+            # legal (indistinguishable from allocation exhaustion): the
+            # A-stream falls behind but the R-stream never waits on it.
+            self.probe.count("token.lost")
+            self.probe.instant("token.lost", self.engine.now,
+                               {"count": self.tokens.count})
+            return
         self.tokens.release()
         self.probe.count("token.inserts")
         self.probe.instant("token.insert", self.engine.now,
@@ -117,12 +133,16 @@ class PairChannel:
                         f"{self.a_sites[k]}")
         return None
 
-    def mark_fault(self, reason: str) -> None:
-        """Flag a speculative A-stream fault for the next check."""
+    def mark_fault(self, reason: str, site: Optional[int] = None) -> None:
+        """Flag a speculative A-stream fault for the next check.
+        ``site`` attributes the fault to a synchronization site when
+        one is known (mailbox mismatches)."""
         self.a_faulted = True
         self.a_fault_reason = reason
+        self.a_fault_site = site
         self.probe.count("a.faults")
-        self.probe.instant("a.fault", self.engine.now, {"reason": reason})
+        self.probe.instant("a.fault", self.engine.now,
+                           {"reason": reason, "site": site})
 
     def reset_after_recovery(self) -> None:
         """Re-align the channel after the A-stream is re-forked from the
@@ -130,6 +150,7 @@ class PairChannel:
         self.a_sites = list(self.r_sites)
         self.a_faulted = False
         self.a_fault_reason = None
+        self.a_fault_site = None
         self.mailbox.clear()
         self.tokens.count = 0
         self.recoveries += 1
@@ -139,6 +160,13 @@ class PairChannel:
     def publish(self, kind: str, site: int, seq: int, payload) -> None:
         """R-stream publishes a decision (chunk, section id, input value)
         and releases the syscall semaphore (§3.2.2)."""
+        if self.faults is not None:
+            delta = self.faults.fire("mailbox_stale", f"chan:n{self.node}")
+            if delta is not None:
+                # Injected staleness: the entry lands with a corrupted
+                # sequence tag, so the A-stream's take() mismatches --
+                # exactly how a genuinely stale entry is detected.
+                seq = seq + delta
         self.mailbox.append((kind, site, seq, payload))
         self.decisions_forwarded += 1
         self.probe.count("decisions.published")
