@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Tuple
 from .obs.probe import NULL_PROBE, Probe
 
 __all__ = ["FAULT_KINDS", "FAULT_CLASSES", "CLASS_KINDS", "FaultConfig",
-           "FaultPlan"]
+           "FaultPlan", "MAX_NET_JITTER"]
 
 #: Every injectable fault kind, in the fixed order schedules are drawn.
 FAULT_KINDS: Tuple[str, ...] = ("a_corrupt", "a_vmfault", "a_kill",
@@ -69,6 +69,11 @@ _WINDOWS: Dict[str, Tuple[int, int]] = {
     "net_jitter": (50, 4000),
 }
 
+#: Exclusive upper bound on one ``net_jitter`` payload.  The memory
+#: fast path pads its quiescence horizon by twice this before drawing
+#: (draws are irreversible: each consumes a schedule index).
+MAX_NET_JITTER = 400.0
+
 #: Values ``a_corrupt`` overwrites a scalar slot with: zeros, sign
 #: flips, wrap-around magnitudes, infinities -- the classic soft-error
 #: menagerie.
@@ -83,7 +88,7 @@ def _draw_payload(kind: str, rng: random.Random):
     if kind == "mailbox_stale":
         return rng.randrange(1, 4)          # seq-tag delta
     if kind == "net_jitter":
-        return float(rng.randrange(25, 400))   # extra cycles, bounded
+        return float(rng.randrange(25, 400))   # bounded: < MAX_NET_JITTER
     return True                             # a_vmfault / a_kill / token_loss
 
 

@@ -1,0 +1,49 @@
+"""Hot-path tier switches (``REPRO_HOTPATH``).
+
+The per-simulation critical path carries three independent
+optimizations, each provably cycle-exact but individually toggleable
+for attribution and for the regression gate's off/on diff:
+
+* ``engine`` -- the calendar/bucket scheduler queue in
+  :class:`repro.sim.Engine` (heapq fallback when off);
+* ``mem``    -- the synchronous uncontended-miss fast path in
+  :class:`repro.mem.CoherentMemorySystem`;
+* ``fuse``   -- bytecode superinstruction fusion in
+  :mod:`repro.compiler.optimize`.
+
+``REPRO_HOTPATH`` unset means *all tiers on* (the optimizations are
+bit-exact, so there is no reason to run without them); set, it is a
+comma-separated subset to enable -- ``REPRO_HOTPATH=`` (empty) turns
+everything off, ``REPRO_HOTPATH=engine,fuse`` leaves only the memory
+fast path disabled.
+
+The environment is consulted at *construction/compile* time (engine
+and memory system read it in ``__init__``, the compiler when an image
+is built), never per event, so toggling mid-run has no effect and the
+hot loops carry no environment lookups.  Process-pool workers inherit
+the environment, keeping serial and pooled sweeps on the same tiers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import FrozenSet
+
+__all__ = ["HOTPATH_TIERS", "hotpath_tiers", "hotpath_enabled"]
+
+#: Every known tier, in ablation-report order.
+HOTPATH_TIERS = ("engine", "mem", "fuse")
+
+
+def hotpath_tiers() -> FrozenSet[str]:
+    """The set of enabled tiers (reads ``REPRO_HOTPATH`` each call)."""
+    raw = os.environ.get("REPRO_HOTPATH")
+    if raw is None:
+        return frozenset(HOTPATH_TIERS)
+    return frozenset(t.strip() for t in raw.split(",")
+                     if t.strip() in HOTPATH_TIERS)
+
+
+def hotpath_enabled(tier: str) -> bool:
+    """Is one tier enabled right now?"""
+    return tier in hotpath_tiers()

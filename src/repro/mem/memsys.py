@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config.machine import MachineConfig
+from ..faults import MAX_NET_JITTER
+from ..hotpath import hotpath_enabled
 from ..obs import Counter, line_outcome, make_sink
 from ..obs.probe import NULL_PROBE, Probe
 from ..sim import Engine
@@ -123,6 +125,9 @@ class CoherentMemorySystem:
         #: job flags): they are timed like any shared line but excluded
         #: from the Figure-3/5 "shared data" classification.
         self.noclass_base: Optional[int] = None
+        #: Uncontended-miss fast path (``REPRO_HOTPATH`` tier ``mem``),
+        #: resolved once at construction like the engine's queue choice.
+        self._fastmiss = hotpath_enabled("mem")
 
     @property
     def classes(self):
@@ -348,6 +353,137 @@ class CoherentMemorySystem:
         self.engine.process(body(), name=f"pfx:n{node}")
         return True
 
+    # ---------------------------------------------- uncontended fast path
+    #
+    # When the engine is quiescent until after the miss would complete,
+    # the whole GETS/GETX event sequence is fully determined at issue
+    # time: plan the occupancy windows arithmetically, reserve them on
+    # the path's servers, sleep once for the end-to-end latency, and
+    # replay the state updates at completion in exactly the order the
+    # generator transaction performs them.  DESIGN.md §6 gives the
+    # cycle-exactness argument; tests/test_mem_fastpath.py checks the
+    # race and ablation properties directly.
+
+    def _fast_miss(self, node: int, la: int, stream: str, nm, mshr,
+                   rdex: bool, upgrade: bool):
+        """Attempt the synchronous miss plan.  Returns the latency class
+        name, or ``None`` -- before any yield -- when ineligible (the
+        caller then falls back to the generator transaction)."""
+        engine = self.engine
+        t0 = engine.now
+        home = self.placement.home(la, toucher=node)
+        remote = home != node
+        hm = self.nodes[home]
+        c_bus, c_nil, c_mem = self.c_bus, self.c_nil, self.c_mem
+        need_mem = not upgrade
+        # Leg durations must all be positive so an abort can only be
+        # delivered at the single resumption point (the final bus leg),
+        # where the rollback below matches the generator's unwind.
+        if c_bus <= 0 or c_nil <= 0 or (need_mem and c_mem <= 0):
+            return None
+        if remote and (self.c_nir <= 0 or self.c_net <= 0):
+            return None
+        # Every server on the path must be idle, unqueued, unreserved.
+        if not (nm.bus.idle_at(t0) and hm.dirctrl.idle_at(t0)
+                and (not need_mem or hm.mem.idle_at(t0))):
+            return None
+        if remote and not (nm.ni_out.idle_at(t0) and nm.ni_in.idle_at(t0)):
+            return None
+        lock = self.directory.lock(la)
+        if lock.count <= 0 or lock._waiters or lock.op_latency != 0.0:
+            return None
+        entry = self.directory.entry(la)
+        if entry.state == DirState.EXCLUSIVE and entry.owner != node:
+            return None                      # 3-hop intervention path
+        if rdex and self.directory.sharers_excluding(la, node):
+            return None                      # invalidation round needed
+        base = 2 * c_bus + c_nil + (c_mem if need_mem else 0.0)
+        if remote:
+            base += 2 * (self.c_net + self.c_nir)
+        # Quiescence: nothing else may run strictly before completion
+        # (entries at exactly t0+L are fine -- they cannot reach any
+        # mid-flight state the plan defers, see DESIGN §6).  Jitter
+        # draws are irreversible (each consumes a schedule index), so
+        # with injection armed the horizon is padded by the largest
+        # jitter the two NI legs could draw *before* drawing.
+        jittery = remote and (nm.ni_out.faults is not None
+                              or nm.ni_in.faults is not None)
+        horizon = base + 2 * MAX_NET_JITTER if jittery else base
+        nt = engine.next_time()
+        if nt is not None and nt < t0 + horizon:
+            return None
+        # ---- committed: draw jitter, reserve the windows ----------------
+        j_out = j_in = 0.0
+        if remote:
+            plan = nm.ni_out.faults
+            if plan is not None:
+                extra = plan.fire("net_jitter", nm.ni_out.name)
+                if extra is not None:
+                    j_out = extra
+            plan = nm.ni_in.faults
+            if plan is not None:
+                extra = plan.fire("net_jitter", nm.ni_in.name)
+                if extra is not None:
+                    j_in = extra
+        lock.try_acquire()
+        bus = nm.bus
+        t = t0
+        bus.reserve(t, c_bus)
+        t += c_bus
+        if remote:
+            d = self.c_nir + j_out
+            nm.ni_out.reserve(t, d)
+            t += d + self.c_net
+        hm.dirctrl.reserve(t, c_nil)
+        t += c_nil
+        if need_mem:
+            hm.mem.reserve(t, c_mem)
+            t += c_mem
+        if remote:
+            t += self.c_net
+            d = self.c_nir + j_in
+            nm.ni_in.reserve(t, d)
+            t += d
+        # Final fill leg: physically hold a bus unit, so a racer
+        # arriving at the completion instant queues behind it exactly
+        # as it queues behind the generator's still-held fill leg.
+        bus.total_requests += 1
+        bus._busy += 1
+        end = t + c_bus
+        if end > bus.busy_until:
+            bus.busy_until = end
+        level = "remote" if remote else "local"
+        try:
+            yield end - t0
+        except BaseException:
+            # Aborted (slipstream recovery interrupt, or a kill) -- by
+            # quiescence, deliverable only at the completion instant.
+            # Replay what the generator had already committed mid-
+            # flight, drop what it had not, and unwind in its order:
+            # fill-leg release first, then the line lock.
+            if not rdex:
+                self.directory.add_sharer(la, node)  # done at mem-leg end
+            bus._release()           # fill leg never adds total_service
+            lock.release()
+            raise
+        # ---- completion: replay the generator's commit order ------------
+        bus.total_service += c_bus
+        bus._release()
+        if rdex:
+            self.directory.set_exclusive(la, node)
+        else:
+            self.directory.add_sharer(la, node)
+        lock.release()
+        line = nm.l2.insert(
+            la, MESIState.EXCLUSIVE if rdex else MESIState.SHARED)
+        if rdex:
+            line.state = MESIState.EXCLUSIVE
+            line.dirty = True
+        self._set_record(line, stream, "rdex" if rdex else "read",
+                         merged_late=mshr.late)
+        nm.probe.count("fast_misses")
+        return level
+
     # ------------------------------------------------------- transactions
 
     def _request_trip_out(self, node: int, home: int):
@@ -372,7 +508,13 @@ class CoherentMemorySystem:
         mshr = _Mshr(evt, stream, "read", is_prefetch=False)
         nm.mshrs[la] = mshr
         try:
-            level = yield from self._gets_body(node, la, stream, nm, mshr)
+            level = None
+            if self._fastmiss:
+                level = yield from self._fast_miss(
+                    node, la, stream, nm, mshr, rdex=False, upgrade=False)
+            if level is None:
+                level = yield from self._gets_body(node, la, stream, nm,
+                                                   mshr)
             nm.probe.instant("coh.gets", self.engine.now,
                              {"addr": la, "level": level, "stream": stream})
             return level
@@ -433,8 +575,13 @@ class CoherentMemorySystem:
         mshr = _Mshr(evt, stream, "rdex", is_prefetch=False)
         nm.mshrs[la] = mshr
         try:
-            level = yield from self._getx_body(node, la, stream, upgrade,
-                                               nm, mshr)
+            level = None
+            if self._fastmiss:
+                level = yield from self._fast_miss(
+                    node, la, stream, nm, mshr, rdex=True, upgrade=upgrade)
+            if level is None:
+                level = yield from self._getx_body(node, la, stream,
+                                                   upgrade, nm, mshr)
             nm.probe.instant("coh.getx", self.engine.now,
                              {"addr": la, "level": level, "stream": stream})
             return level

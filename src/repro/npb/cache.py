@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..compiler import CompiledProgram, compile_source
+from ..hotpath import hotpath_enabled
 
 __all__ = ["CompileCache", "COMPILE_CACHE", "compiler_fingerprint",
            "cache_stats", "clear_cache"]
@@ -89,9 +90,17 @@ class CompileCache:
 
     @staticmethod
     def key_for(source: str) -> str:
-        """Content hash of a compile request: source + compiler version."""
+        """Content hash of a compile request: source + compiler version
+        + the optimizer configuration that shapes the opcode stream.
+
+        The superinstruction-fusion tier changes what ``compile_source``
+        emits without changing any compiler source file, so it must be
+        part of the key -- otherwise a disk entry produced with fusion
+        on would be served to a ``REPRO_HOTPATH`` all-off ablation run
+        (and vice versa)."""
         h = hashlib.sha256()
         h.update(compiler_fingerprint().encode())
+        h.update(b"fuse=1" if hotpath_enabled("fuse") else b"fuse=0")
         h.update(source.encode())
         return h.hexdigest()
 

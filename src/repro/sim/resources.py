@@ -32,7 +32,7 @@ class Server:
 
     __slots__ = ("engine", "name", "units", "_busy", "_waiters",
                  "total_requests", "total_service", "total_queue_wait",
-                 "max_queue_len", "faults")
+                 "max_queue_len", "faults", "busy_until")
 
     def __init__(self, engine: Engine, name: str, units: int = 1):
         if units < 1:
@@ -50,6 +50,31 @@ class Server:
         #: bounded, protocol-legal jitter to scheduled serve() calls.
         #: None = injection off; the hook is one attribute test.
         self.faults = None
+        #: End of the latest reserved occupancy window (see reserve()).
+        self.busy_until = 0.0
+
+    def idle_at(self, now: float) -> bool:
+        """True when a unit is free, nobody queues, and no reservation
+        extends past ``now`` -- the fast-path eligibility probe."""
+        return (self._busy == 0 and not self._waiters
+                and self.busy_until <= now)
+
+    def reserve(self, start: float, length: float) -> None:
+        """Book one unit for ``[start, start + length)`` synchronously.
+
+        The memory fast path charges a planned, uncontended occupancy
+        window without a queue turn: request/service statistics match a
+        ``serve()`` over the same window exactly, and ``busy_until``
+        advertises the reservation horizon so later planners -- and
+        ``serve`` itself -- still see the contention the window
+        represents.  Callers must guarantee the window is genuinely
+        uncontended (``idle_at(start)`` plus engine quiescence through
+        ``start + length``); reservations have no release event."""
+        self.total_requests += 1
+        self.total_service += length
+        end = start + length
+        if end > self.busy_until:
+            self.busy_until = end
 
     def serve(self, duration: float):
         """Generator: acquire a unit, hold it for ``duration``, release."""
@@ -78,6 +103,14 @@ class Server:
                 raise
         else:
             self._busy += 1
+        if self.engine.now < self.busy_until:
+            # A reservation is still pending on this unit: the request
+            # waits it out as ordinary queueing delay.
+            try:
+                yield self.busy_until - self.engine.now
+            except BaseException:
+                self._release()
+                raise
         self.total_queue_wait += self.engine.now - start
         try:
             if duration > 0:

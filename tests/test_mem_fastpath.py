@@ -1,0 +1,151 @@
+"""Directed tests for the uncontended-miss fast path (hot-path tier
+``mem``): eligibility, the reservation race, and cycle-exactness of the
+planned path against the pure-generator transaction."""
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.mem import CoherentMemorySystem
+from repro.mem.address import SHARED_BASE
+from repro.sim import Engine
+
+
+def make(n_cmps=4, **kw):
+    cfg = PAPER_MACHINE.with_(n_cmps=n_cmps, placement="round_robin", **kw)
+    eng = Engine()
+    return eng, CoherentMemorySystem(eng, cfg), cfg
+
+
+def addr_homed_at(cfg, node):
+    return SHARED_BASE + node * cfg.page_bytes
+
+
+def local_miss_cycles(ms):
+    """End-to-end latency of an uncontended local read miss."""
+    return 2 * ms.c_bus + ms.c_nil + ms.c_mem
+
+
+def fast_misses(ms):
+    return sum(nm.stats.get("fast_misses") or 0 for nm in ms.nodes)
+
+
+def _race_same_line(hotpath, monkeypatch):
+    """CPU on node 0 misses a line; a second CPU on node 1 wakes at the
+    exact completion instant (earlier seq, so it runs first) and
+    requests the *same directory line* while the plan's lock and fill
+    leg are still held."""
+    monkeypatch.setenv("REPRO_HOTPATH", hotpath)
+    eng, ms, cfg = make()
+    a = addr_homed_at(cfg, 0)
+    results = {}
+
+    def racer():
+        yield local_miss_cycles(ms)
+        results["racer"] = yield from ms.load(1, 0, a)
+
+    def leader():
+        results["leader"] = yield from ms.load(0, 0, a)
+
+    eng.process(racer(), name="racer")       # created first: earlier seq
+    eng.process(leader(), name="leader")
+    eng.run()
+    return eng, ms, results
+
+
+@pytest.mark.parametrize("hotpath", ["engine,mem,fuse", ""])
+def test_race_same_line_cycles_match_generator(hotpath, monkeypatch):
+    """The fast path's first/fallback split must be timing-invisible:
+    both accesses take identical cycles with the tier on and off."""
+    eng_on, ms_on, r_on = _race_same_line("engine,mem,fuse", monkeypatch)
+    eng_off, ms_off, r_off = _race_same_line("", monkeypatch)
+    assert r_on["leader"].cycles == r_off["leader"].cycles
+    assert r_on["racer"].cycles == r_off["racer"].cycles
+    assert eng_on.now == eng_off.now
+    # And the split itself: with the tier on, exactly the leader planned.
+    assert fast_misses(ms_on) == 1
+    assert ms_on.nodes[0].stats.get("fast_misses") == 1
+    assert fast_misses(ms_off) == 0
+    # The racer still resolved as an ordinary remote read miss.
+    assert r_on["racer"].level == "remote" == r_off["racer"].level
+    assert r_on["leader"].level == "local" == r_off["leader"].level
+
+
+def test_racer_falls_back_on_held_fill_leg(monkeypatch):
+    """A same-node second CPU arriving at the completion instant must
+    observe the reserved fill-leg occupancy (bus busy) and fall back,
+    queueing exactly as it would behind the generator's held leg."""
+    monkeypatch.setenv("REPRO_HOTPATH", "mem")
+    eng, ms, cfg = make()
+    a = addr_homed_at(cfg, 0)
+    b = a + cfg.line_bytes                   # different directory line
+    results = {}
+
+    def racer():
+        yield local_miss_cycles(ms)
+        # Bus unit still physically held by the leader's planned fill
+        # leg at this instant -> fast path ineligible.
+        assert not ms.nodes[0].bus.idle_at(eng.now)
+        results["racer"] = yield from ms.load(0, 1, b)
+
+    def leader():
+        results["leader"] = yield from ms.load(0, 0, a)
+
+    eng.process(racer(), name="racer")
+    eng.process(leader(), name="leader")
+    eng.run()
+    assert ms.nodes[0].stats.get("fast_misses") == 1   # leader only
+    assert results["leader"].level == "local"
+    assert results["racer"].level == "local"
+    # The racer queued behind the fill leg: same service, zero overlap.
+    assert results["racer"].cycles == results["leader"].cycles
+
+
+def test_fast_path_reserves_server_statistics(monkeypatch):
+    """Reservations must charge the same request/service totals a
+    serve() over the window would, so utilization reports are
+    tier-invariant."""
+    stats = {}
+    for tiers in ("mem", ""):
+        monkeypatch.setenv("REPRO_HOTPATH", tiers)
+        eng, ms, cfg = make()
+        a = addr_homed_at(cfg, 0)
+        eng.run_process(ms.load(0, 0, a))
+        bus = ms.nodes[0].bus
+        stats[tiers] = (bus.total_requests, bus.total_service,
+                        ms.nodes[0].mem.total_service if hasattr(
+                            ms.nodes[0], "mem") else None)
+    assert stats["mem"] == stats[""]
+
+
+def test_fast_path_ineligible_when_queue_is_busy(monkeypatch):
+    """Any event scheduled before the would-be completion instant
+    voids quiescence: the miss must take the generator path."""
+    monkeypatch.setenv("REPRO_HOTPATH", "mem")
+    eng, ms, cfg = make()
+    a = addr_homed_at(cfg, 0)
+
+    def bystander():
+        yield 1.0                            # wakes mid-flight
+
+    def loader():
+        res = yield from ms.load(0, 0, a)
+        return res
+
+    eng.process(bystander(), name="bystander")
+    res = eng.run_process(loader(), name="loader")
+    assert res.level == "local"
+    assert not ms.nodes[0].stats.get("fast_misses")
+
+
+def test_fast_path_ineligible_for_three_hop(monkeypatch):
+    """An EXCLUSIVE line owned elsewhere needs the intervention path;
+    the planner must decline before any reservation is made."""
+    monkeypatch.setenv("REPRO_HOTPATH", "mem")
+    eng, ms, cfg = make()
+    a = addr_homed_at(cfg, 0)
+    eng.run_process(ms.store(1, 0, a))       # node 1 becomes dirty owner
+    n_fast = fast_misses(ms)
+    res = eng.run_process(ms.load(0, 0, a))
+    assert res.level == "remote3"
+    assert fast_misses(ms) == n_fast         # no new fast miss
+    assert cfg.ns(res.cycles) == pytest.approx(270.0)

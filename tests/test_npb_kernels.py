@@ -95,7 +95,9 @@ def test_lcg_indices_deterministic_and_in_range():
 def test_bench_size_compiles(name):
     spec = REGISTRY[name]
     image = spec.compile("bench")
-    assert image.n_instructions > 100
+    # Sanity floor only; superinstruction fusion legitimately packs
+    # several bytecodes into one, so keep it below any fused size.
+    assert image.n_instructions > 50
 
 
 def test_mg_rejects_too_coarse_hierarchy():
