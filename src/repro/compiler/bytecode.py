@@ -169,6 +169,12 @@ class Code:
     #: peephole optimizer and pickled with the image, so disk-cached
     #: entries carry it too.
     lines: List[int] = field(default_factory=list)
+    #: Generated-code tier payload: ``(python_source, hoisted_consts)``
+    #: emitted by :func:`repro.interp.compile.generate_source` when the
+    #: ``compile`` hot-path tier was on at image build.  Pickled with
+    #: the image (the disk cache carries the generated source next to
+    #: the bytecode); exec'd lazily once per process.
+    gen_src: Optional[Tuple[str, Tuple]] = None
 
     @property
     def n_params(self) -> int:
@@ -195,6 +201,14 @@ class CompiledProgram:
     #: site id -> descriptive label ("barrier@12", "for@30(dynamic,4)")
     sites: Dict[int, str] = field(default_factory=dict)
     source: str = ""
+
+    def __getstate__(self):
+        """Pickle without the exec'd generated-function cache
+        (``_cfns``): function objects are not picklable and are derived
+        state, rebuilt from each Code's ``gen_src`` on first run."""
+        state = self.__dict__.copy()
+        state.pop("_cfns", None)
+        return state
 
     def func(self, name: str) -> Code:
         """Look a function up by name."""

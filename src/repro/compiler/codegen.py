@@ -58,6 +58,14 @@ def compile_program(program: A.Program,
     if optimize:
         from .optimize import optimize_program
         optimize_program(cp)
+    from ..hotpath import hotpath_enabled
+    if hotpath_enabled("compile"):
+        # Generated-code tier: emit the per-function Python source now
+        # so it is part of the image (and of the npb/cache disk entry,
+        # whose key carries the compile= flag).  Imported late -- the
+        # interp package imports this one.
+        from ..interp.compile import attach_generated
+        attach_generated(cp)
     return cp
 
 

@@ -21,12 +21,30 @@ import numpy as np
 
 from ..compiler.bytecode import (BINOP_COST, ICALL_COST, OP_COST, Code,
                                  CompiledProgram)
+from ..hotpath import hotpath_enabled
 from .events import Done, IoOut, MemRead, MemWrite, RtCall, TimeSlice
 
 __all__ = ["Frame", "VM", "VMError", "MISS"]
 
 #: Sentinel a fast_read callback returns to force the slow (timed) path.
 MISS = _MISS = object()
+
+#: Sentinel a generated function (``interp.compile``) returns when it
+#: is entered at a pc it has no resume stub for; the VM drops back to
+#: the interpreter loop for the rest of this VM's life.
+_DEOPT = object()
+
+# Resolved lazily: interp.compile imports this module, so the binding
+# cannot happen at import time.
+_compiled_functions = None
+
+
+def _compiled_fns(program):
+    global _compiled_functions
+    if _compiled_functions is None:
+        from .compile import compiled_functions
+        _compiled_functions = compiled_functions
+    return _compiled_functions(program)
 
 
 class VMError(RuntimeError):
@@ -396,6 +414,16 @@ class VM:
         # When set, run() takes the instrumented twin of the dispatch
         # loop; when None (the default) the hot loop is untouched.
         self.profile = None
+        # Generated-code tier (REPRO_HOTPATH "compile"): one exec'd
+        # Python function per Code object, indexed by fidx.  None means
+        # the interpreter loop runs -- tier off, image without attached
+        # gen_src (hand-built test Codes), or a deopt (restore/corrupt/
+        # armed faults via disable_compiled).  Cycles and events are
+        # bit-identical either way; see interp.compile.
+        if hotpath_enabled("compile"):
+            self._cfns = _compiled_fns(program)
+        else:
+            self._cfns = None
 
     # ----------------------------------------------------------- interface
 
@@ -416,10 +444,19 @@ class VM:
         return [f.clone() for f in self.frames]
 
     def restore(self, snap: List[Frame]) -> None:
-        """Adopt a snapshot (slipstream recovery re-fork)."""
+        """Adopt a snapshot (slipstream recovery re-fork).  The VM
+        drops to the interpreter loop for good: a restored pc may sit
+        anywhere, including mid-block positions the generated code has
+        no resume stub for, and recovery is far off the hot path."""
+        self._cfns = None
         self.frames = [f.clone() for f in snap]
         self.done = False
         self._pending_push = False
+
+    def disable_compiled(self) -> None:
+        """Force the interpreter loop for this VM (armed fault plans,
+        restore/corrupt consumers).  Cycle-neutral by construction."""
+        self._cfns = None
 
     def corrupt(self, spec: Tuple[int, object]) -> Optional[str]:
         """Deterministically corrupt one scalar of architectural state
@@ -430,6 +467,10 @@ class VM:
         identical slots.  Called from outside the dispatch loop -- the
         hot path carries no injection code.  Returns a description of
         the corrupted slot, or None when no scalar slot exists."""
+        # Fault-injection consumers run interpreted (the shell already
+        # disables the compiled tier when a fault plan is armed; this
+        # keeps the contract even for direct callers).
+        self._cfns = None
         if not self.frames:
             return None
         sel, value = spec
@@ -474,6 +515,8 @@ class VM:
         """
         if self.profile is not None:
             return self._run_profiled()
+        if self._cfns is not None:
+            return self._run_compiled()
         if self.done:
             return Done(self.result)
         if self._pending_push:
@@ -747,6 +790,29 @@ class VM:
                     f"{instrs[pc] if pc < len(instrs) else 'pc out of range'}"
                 ) from None
             self.pending_cycles += cycles
+
+    def _run_compiled(self):
+        """Drive the generated-code tier: call the current frame's
+        exec-compiled function until it returns an event.  ``None``
+        means a frame switch (call pushed / ret popped) -- loop with
+        the surviving slice budget, exactly like the interpreter's
+        outer while.  The ``_DEOPT`` sentinel (entry pc without a
+        resume stub) permanently drops this VM to the interpreter,
+        which re-runs from the identical synced state."""
+        if self.done:
+            return Done(self.result)
+        if self._pending_push:
+            raise VMError("event result was never pushed")
+        budget = self.MAX_SLICE
+        frames = self.frames
+        cfns = self._cfns
+        while True:
+            ev, budget = cfns[frames[-1].fidx](self, frames[-1], budget)
+            if ev is not None:
+                if ev is _DEOPT:
+                    self._cfns = None
+                    return self.run()
+                return ev
 
     def _run_profiled(self):
         """Instrumented twin of :meth:`run` used when ``self.profile``

@@ -48,6 +48,11 @@ __all__ = ["CompileCache", "COMPILE_CACHE", "compiler_fingerprint",
 #: cached image (memory and disk alike).
 _COMPILER_PACKAGES = ("lang", "compiler")
 
+#: Individual extra files that shape the image beyond the compiler
+#: packages: the generated-code emitter writes ``Code.gen_src`` into
+#: the image, so its edits must miss the cache too.
+_EXTRA_FILES = ("interp/compile.py",)
+
 _fingerprint: Optional[str] = None
 
 
@@ -60,6 +65,11 @@ def compiler_fingerprint() -> str:
         for pkg in _COMPILER_PACKAGES:
             for path in sorted((root / pkg).glob("*.py")):
                 h.update(path.name.encode())
+                h.update(path.read_bytes())
+        for rel in _EXTRA_FILES:
+            path = root / rel
+            if path.is_file():
+                h.update(rel.encode())
                 h.update(path.read_bytes())
         _fingerprint = h.hexdigest()
     return _fingerprint
@@ -93,14 +103,18 @@ class CompileCache:
         """Content hash of a compile request: source + compiler version
         + the optimizer configuration that shapes the opcode stream.
 
-        The superinstruction-fusion tier changes what ``compile_source``
-        emits without changing any compiler source file, so it must be
-        part of the key -- otherwise a disk entry produced with fusion
-        on would be served to a ``REPRO_HOTPATH`` all-off ablation run
-        (and vice versa)."""
+        The superinstruction-fusion and generated-code tiers change
+        what ``compile_source`` emits without changing any compiler
+        source file, so both must be part of the key -- otherwise a
+        disk entry produced with a tier on would be served to a
+        ``REPRO_HOTPATH`` ablation run with it off (and vice versa:
+        an all-off image without ``gen_src`` would silently drop a
+        compile-tier process back to the interpreter)."""
         h = hashlib.sha256()
         h.update(compiler_fingerprint().encode())
         h.update(b"fuse=1" if hotpath_enabled("fuse") else b"fuse=0")
+        h.update(b"compile=1" if hotpath_enabled("compile")
+                 else b"compile=0")
         h.update(source.encode())
         return h.hexdigest()
 

@@ -81,7 +81,15 @@ class TrackProfile:
 
     def bind_vm(self, vm) -> None:
         """Adopt a VM: share the pending tally into it (``vm.profile``)
-        and read source positions from it at span boundaries."""
+        and read source positions from it at span boundaries.
+
+        Setting ``vm.profile`` also takes precedence over the
+        generated-code tier: ``VM.run()`` checks it before the
+        compiled-function table, so a profiled VM always executes the
+        line-attributing ``_run_profiled`` loop (the generated code
+        folds per-line charges into block accumulators and cannot
+        attribute them).  Cycle totals are identical either way --
+        asserted by ``tests/test_interp_compile.py``."""
         vm.profile = self.pending
         self.vm = vm
 

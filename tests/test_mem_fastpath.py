@@ -5,6 +5,7 @@ planned path against the pure-generator transaction."""
 import pytest
 
 from repro.config import PAPER_MACHINE
+from repro.hotpath import reset_for_tests
 from repro.mem import CoherentMemorySystem
 from repro.mem.address import SHARED_BASE
 from repro.sim import Engine
@@ -35,6 +36,7 @@ def _race_same_line(hotpath, monkeypatch):
     requests the *same directory line* while the plan's lock and fill
     leg are still held."""
     monkeypatch.setenv("REPRO_HOTPATH", hotpath)
+    reset_for_tests()                        # re-latch for this value
     eng, ms, cfg = make()
     a = addr_homed_at(cfg, 0)
     results = {}
@@ -107,6 +109,7 @@ def test_fast_path_reserves_server_statistics(monkeypatch):
     stats = {}
     for tiers in ("mem", ""):
         monkeypatch.setenv("REPRO_HOTPATH", tiers)
+        reset_for_tests()
         eng, ms, cfg = make()
         a = addr_homed_at(cfg, 0)
         eng.run_process(ms.load(0, 0, a))

@@ -63,6 +63,27 @@ def test_compiler_fingerprint_invalidates_key(monkeypatch):
     assert k1 != k2
 
 
+def test_hotpath_tier_flags_change_key(monkeypatch):
+    """The fuse and compile tiers shape the image (opcode stream /
+    ``gen_src``) without touching any compiler source, so each flag
+    combination must map to its own cache key -- and unset must alias
+    all-on, its semantic equivalent."""
+    from repro.hotpath import reset_for_tests
+    keys = {}
+    for tiers in ("engine,mem,fuse,compile", "engine,mem,fuse",
+                  "engine,mem,compile", "engine,mem", None):
+        if tiers is None:
+            monkeypatch.delenv("REPRO_HOTPATH", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_HOTPATH", tiers)
+        reset_for_tests()
+        keys[tiers] = CompileCache.key_for(SRC_A)
+    assert keys[None] == keys["engine,mem,fuse,compile"]
+    four = [keys[t] for t in ("engine,mem,fuse,compile", "engine,mem,fuse",
+                              "engine,mem,compile", "engine,mem")]
+    assert len(set(four)) == 4
+
+
 def test_fingerprint_is_stable_and_hexlike():
     fp = compiler_fingerprint()
     assert fp == compiler_fingerprint()
