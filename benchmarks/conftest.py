@@ -10,7 +10,10 @@ Environment knobs (for quicker exploratory runs):
 * ``REPRO_BENCH_CMPS``  -- number of CMPs (default 16, the paper's);
 * ``REPRO_BENCH_JOBS``  -- worker processes for the suite's independent
   simulations (default 1 = serial; results are bit-identical either
-  way, only wall-clock changes).
+  way, only wall-clock changes);
+* ``REPRO_BENCH_MEMO``  -- "1" to serve repeated units from the shared
+  run-result memo store (bit-identical; useful when iterating on the
+  figure code rather than the simulator).
 
 Rendered outputs are also written to ``benchmarks/results/*.txt`` so
 EXPERIMENTS.md can reference a stable artifact.
@@ -24,7 +27,9 @@ import pathlib
 import pytest
 
 from repro.config import PAPER_MACHINE
-from repro.harness import make_context, run_dynamic_suite, run_static_suite
+from repro.harness import (ExecutionPipeline, MemoStore, PoolTransport,
+                           SerialTransport, run_dynamic_suite,
+                           run_static_suite)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -41,8 +46,13 @@ def bench_cfg():
 
 
 def bench_context():
-    """Execution context for the suites (REPRO_BENCH_JOBS workers)."""
-    return make_context(int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    """Execution pipeline for the suites (REPRO_BENCH_JOBS workers,
+    optional REPRO_BENCH_MEMO run-result store)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    transport = PoolTransport(jobs=jobs) if jobs > 1 else SerialTransport()
+    memo = (MemoStore()
+            if os.environ.get("REPRO_BENCH_MEMO", "") == "1" else None)
+    return ExecutionPipeline(transport=transport, memo=memo)
 
 
 def get_static_suite():

@@ -38,6 +38,23 @@ def _machine_args(p: argparse.ArgumentParser) -> None:
                    help="number of dual-processor CMP nodes (default 16)")
 
 
+def _pipeline_args(p: argparse.ArgumentParser) -> None:
+    """Execution-pipeline knobs shared by the sweep verbs."""
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="checkpoint every finished unit under DIR and "
+                        "resume from whatever a previous (possibly "
+                        "killed) sweep already completed there")
+    p.add_argument("--memo", action="store_true",
+                   help="serve repeat (program, config, seed, hotpath, "
+                        "faults) runs from the content-addressed "
+                        "run-result memo store (REPRO_MEMO_DIR, default "
+                        "~/.cache/repro/results)")
+    p.add_argument("--spool", metavar="DIR", default=None,
+                   help="dispatch units through a shared spool "
+                        "directory; attach extra workers with "
+                        "'repro worker DIR' (overrides --jobs)")
+
+
 def _chaos_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--timeout-cycles", type=float, default=None,
                    metavar="N",
@@ -126,6 +143,23 @@ def _build_parser() -> argparse.ArgumentParser:
                           "stacks to OUT and print the hot-line table")
     _machine_args(ben)
     _chaos_args(ben)
+    _pipeline_args(ben)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="attach a work-unit worker to a shared spool directory")
+    wrk.add_argument("dir", help="spool directory (the --spool DIR of "
+                                 "the driving sweep)")
+    wrk.add_argument("--poll", type=float, default=0.1, metavar="S",
+                     help="seconds between scans when idle (default 0.1)")
+    wrk.add_argument("--lease", type=float, default=60.0, metavar="S",
+                     help="reap another worker's claim after S seconds "
+                          "(default 60; set above the longest unit)")
+    wrk.add_argument("--max-units", type=int, default=None, metavar="N",
+                     help="exit after executing N units")
+    wrk.add_argument("--wait", action="store_true",
+                     help="keep polling for new units instead of "
+                          "exiting when the spool is drained")
 
     cha = sub.add_parser(
         "chaos",
@@ -149,7 +183,27 @@ def _build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--report", metavar="OUT.json",
                      help="write the full machine-readable report")
     _machine_args(cha)
+    _pipeline_args(cha)
     return ap
+
+
+def _pipeline_from_args(args):
+    """Build the execution pipeline a sweep verb asked for: transport
+    from --spool/--jobs, checkpoint journal from --resume, memo store
+    from --memo."""
+    from .harness import (CheckpointJournal, DirQueueTransport,
+                          ExecutionPipeline, MemoStore, PoolTransport,
+                          SerialTransport)
+    if args.spool:
+        transport = DirQueueTransport(args.spool)
+    elif args.jobs and args.jobs > 1:
+        transport = PoolTransport(jobs=args.jobs)
+    else:
+        transport = SerialTransport()
+    return ExecutionPipeline(
+        transport=transport,
+        journal=CheckpointJournal(args.resume) if args.resume else None,
+        memo=MemoStore() if args.memo else None)
 
 
 def _env_from_args(args) -> RuntimeEnv:
@@ -292,7 +346,6 @@ def _cmd_bench(args, out) -> int:
     if bad:
         print(f"unknown benchmark(s): {bad}", file=sys.stderr)
         return 2
-    from .harness import make_context
     cfg = PAPER_MACHINE.with_(n_cmps=args.cmps)
     if args.trace and args.profile:
         print("--trace and --profile are mutually exclusive",
@@ -308,12 +361,14 @@ def _cmd_bench(args, out) -> int:
         kw["faults"] = FaultConfig(args.chaos_seed)
     if args.timeout_cycles is not None:
         kw["timeout_cycles"] = args.timeout_cycles
-    context = make_context(args.jobs)
+    context = _pipeline_from_args(args)
     suite = run_static_suite(cfg=cfg, size=args.size, benchmarks=names,
                              context=context, **kw)
     print(render_speedups(
         suite, title=f"mini-NPB ({args.size} size, {args.cmps} CMPs)"),
         file=out)
+    from .harness import render_pipeline
+    print(render_pipeline(context), file=out)
     if args.trace:
         from .obs import merge_traces, write_trace
         items = [(f"{bench}:{cfg_name}", run.result.trace)
@@ -360,6 +415,13 @@ def _report_degraded(context) -> int:
     return 3
 
 
+def _cmd_worker(args, out) -> int:
+    from .harness import run_worker
+    run_worker(args.dir, poll_s=args.poll, lease_s=args.lease,
+               max_units=args.max_units, drain=not args.wait, out=out)
+    return 0
+
+
 def _cmd_chaos(args, out) -> int:
     from .harness.chaos import (CHAOS_BENCHMARKS, DEFAULT_TIMEOUT_CYCLES,
                                 chaos_specs, render_chaos, run_chaos)
@@ -369,7 +431,6 @@ def _cmd_chaos(args, out) -> int:
     if bad:
         print(f"unknown benchmark(s): {bad}", file=sys.stderr)
         return 2
-    from .harness import make_context
     classes = ([tuple(args.classes.split(","))] if args.classes else None)
     if classes:
         from .faults import FAULT_CLASSES
@@ -383,10 +444,12 @@ def _cmd_chaos(args, out) -> int:
         classes=classes, size=args.size,
         cfg=PAPER_MACHINE.with_(n_cmps=args.cmps),
         timeout_cycles=args.timeout_cycles or DEFAULT_TIMEOUT_CYCLES)
-    context = make_context(args.jobs)
+    context = _pipeline_from_args(args)
     report = run_chaos(specs, context=context)
     print(render_chaos(report, title=f"chaos matrix ({args.size} size, "
                                      f"{args.cmps} CMPs)"), file=out)
+    from .harness import render_pipeline
+    print(render_pipeline(context), file=out)
     if args.report:
         import json
         with open(args.report, "w") as fh:
@@ -417,6 +480,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_check(args, out)
         if args.cmd == "bench":
             return _cmd_bench(args, out)
+        if args.cmd == "worker":
+            return _cmd_worker(args, out)
         if args.cmd == "chaos":
             return _cmd_chaos(args, out)
     except CompileError as e:

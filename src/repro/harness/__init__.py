@@ -1,30 +1,43 @@
-"""Experiment harness: paper-figure runners and renderers."""
+"""Experiment harness: the execution pipeline (jobs -> transport ->
+checkpoint -> merge), paper-figure runners and renderers."""
 
 from .figures import (BREAKDOWN_CATEGORIES, benchmark_inventory,
                       breakdown_table, classification_table,
                       render_breakdowns, render_classification,
-                      render_speedups, render_table, speedup_table,
-                      summary_gains)
+                      render_pipeline, render_speedups, render_table,
+                      speedup_table, summary_gains)
 from .report import (classification_to_csv, profile_table, profile_to_csv,
                      suite_to_csv, suite_to_markdown)
 from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
                      BenchRun, dynamic_chunk, run_benchmark,
                      run_dynamic_suite, run_static_suite)
-from .exec import (ExecutionContext, ProcessPoolContext, RunSpec,
-                   SerialContext, execute_spec, make_context)
+from .jobs import (RunSpec, SweepPlan, WorkUnit, code_fingerprint,
+                   dynamic_specs, execute_spec, static_specs, unit_key)
+from .transport import (DirQueueTransport, PoolTransport, SerialTransport,
+                        Transport, run_worker)
+from .checkpoint import CheckpointJournal, MemoStore, default_memo_dir
+from .pipeline import ExecutionPipeline
+from .exec import (ExecutionContext, ProcessPoolContext, SerialContext,
+                   make_context)
 from .chaos import (CHAOS_BENCHMARKS, ChaosOutcome, ChaosReport,
                     chaos_specs, oracle_check, render_chaos, run_chaos)
 
 __all__ = [
     "BREAKDOWN_CATEGORIES", "benchmark_inventory", "breakdown_table",
     "classification_table", "render_breakdowns", "render_classification",
-    "render_speedups", "render_table", "speedup_table", "summary_gains",
+    "render_pipeline", "render_speedups", "render_table", "speedup_table",
+    "summary_gains",
     "DYNAMIC_BENCHMARKS", "SLIP_CONFIGS", "STATIC_BENCHMARKS", "BenchRun",
     "dynamic_chunk", "run_benchmark", "run_dynamic_suite",
     "run_static_suite", "classification_to_csv", "profile_table",
     "profile_to_csv", "suite_to_csv", "suite_to_markdown",
-    "ExecutionContext", "ProcessPoolContext", "RunSpec", "SerialContext",
-    "execute_spec", "make_context",
+    "RunSpec", "SweepPlan", "WorkUnit", "code_fingerprint",
+    "dynamic_specs", "execute_spec", "static_specs", "unit_key",
+    "Transport", "SerialTransport", "PoolTransport", "DirQueueTransport",
+    "run_worker", "CheckpointJournal", "MemoStore", "default_memo_dir",
+    "ExecutionPipeline",
+    "ExecutionContext", "ProcessPoolContext", "SerialContext",
+    "make_context",
     "CHAOS_BENCHMARKS", "ChaosOutcome", "ChaosReport", "chaos_specs",
     "oracle_check", "render_chaos", "run_chaos",
 ]

@@ -33,7 +33,8 @@ from ..config.machine import MachineConfig, PAPER_MACHINE
 from ..faults import CLASS_KINDS, FAULT_CLASSES, FaultConfig
 from ..interp.funcrunner import FunctionalRunner
 from ..npb import REGISTRY
-from .exec import ExecutionContext, RunSpec, SerialContext, execute_spec
+from .jobs import RunSpec, execute_spec
+from .pipeline import ExecutionPipeline
 from .runner import BenchRun
 
 __all__ = ["CHAOS_BENCHMARKS", "SCENARIO_CLASS_SETS", "ChaosOutcome",
@@ -300,10 +301,15 @@ def _classify(spec: RunSpec, run: BenchRun) -> ChaosOutcome:
 
 
 def run_chaos(specs: Sequence[RunSpec],
-              context: Optional[ExecutionContext] = None) -> ChaosReport:
-    """Execute a fault matrix and classify every scenario."""
+              context=None) -> ChaosReport:
+    """Execute a fault matrix and classify every scenario.
+
+    ``context`` is anything with a submission-order ``run(specs)``
+    (an :class:`~repro.harness.pipeline.ExecutionPipeline` with any
+    transport/journal/memo combination, or a legacy exec context);
+    default serial pipeline."""
     specs = list(specs)
-    context = context or SerialContext()
+    context = context or ExecutionPipeline()
     runs = context.run(specs)
     return ChaosReport(
         outcomes=[_classify(s, r) for s, r in zip(specs, runs)],

@@ -1,0 +1,161 @@
+"""Checkpoint journal and run-result memo store (pipeline stage three).
+
+Both are directories of atomically-published pickled
+:class:`~repro.harness.runner.BenchRun` payloads named by unit content
+key -- the same content-addressing discipline
+:mod:`repro.npb.cache` applies to compiled images, extended to full
+simulation results.  The two differ only in scope and lifetime:
+
+* :class:`CheckpointJournal` -- per-sweep, at a caller-chosen path
+  (``--resume DIR``).  Every finished unit is journaled the moment its
+  result reaches the driver, so a sweep killed mid-run (lost pool, a
+  SIGKILLed spool worker, the driver itself dying) resumes from the
+  journal: completed units load instantly and only the remainder
+  re-executes.  Because entries are keyed by content, a journal can
+  never resurrect stale results -- a code or spec change shifts the
+  key and the old entry is simply never consulted.
+
+* :class:`MemoStore` -- process- and sweep-spanning, under the shared
+  cache root (``REPRO_CACHE_DIR``/``~/.cache/repro``, override with
+  ``REPRO_MEMO_DIR``).  A repeated ``(program, config, seed, hotpath,
+  faults, code-fingerprint)`` unit is served from the store without
+  simulating at all; determinism (cycle counts are a pure function of
+  the key -- see :func:`repro.harness.jobs.unit_key`) makes the served
+  result bit-identical to a fresh run.
+
+Durability rules: entries publish via ``os.replace`` so readers (other
+workers, a concurrent resume) never observe a torn write, and a
+corrupt or unreadable entry degrades to a miss, never an error.
+Failed runs are journaled (a resume must not redo a 5e6-cycle hang)
+but only *deterministic* failures are memoized: ``hang`` and
+``wrong-output`` replay identically, while a ``crash`` may be
+environmental (OOM, a signal) and must stay retryable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..npb.cache import cache_root
+from .runner import BenchRun
+
+__all__ = ["ResultStore", "CheckpointJournal", "MemoStore",
+           "default_memo_dir"]
+
+
+class ResultStore:
+    """A directory of content-keyed, atomically-published results.
+
+    The shared base of the journal and the memo store: ``put`` pickles
+    a payload to ``<root>/<key>.run`` via a same-directory temp file +
+    ``os.replace`` (atomic on POSIX), ``get`` unpickles it, treating
+    any read/decode failure as a miss.  An unwritable root degrades to
+    a no-op store rather than failing the sweep.
+    """
+
+    suffix = ".run"
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{self.suffix}"
+
+    def get(self, key: str) -> Optional[BenchRun]:
+        """The stored payload for ``key``, or None (miss)."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                payload = pickle.load(fh)
+        # A corrupt entry raises essentially anything depending on the
+        # bytes; a broken store file must never be worse than a miss.
+        except Exception:
+            return None
+        return payload if isinstance(payload, BenchRun) else None
+
+    def put(self, key: str, run: BenchRun) -> bool:
+        """Atomically publish ``run`` under ``key``; False if the
+        store is unwritable (the sweep proceeds without durability)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(run, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> List[str]:
+        """Keys currently published (sorted, for determinism)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name[:-len(self.suffix)]
+                      for p in self.root.glob(f"*{self.suffix}"))
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+class CheckpointJournal(ResultStore):
+    """Per-sweep resume journal (see module docstring).
+
+    ``load`` is the resume step: given the plan's unit keys it returns
+    every already-journaled result, and the pipeline executes only the
+    rest.  Keys not in the plan are ignored -- a journal directory may
+    be reused across differently-shaped sweeps without harm.
+    """
+
+    def __init__(self, root):
+        super().__init__(Path(root))
+
+    def load(self, keys: Iterable[str]) -> Dict[str, BenchRun]:
+        """Journaled results for the given unit keys."""
+        out: Dict[str, BenchRun] = {}
+        for key in keys:
+            run = self.get(key)
+            if run is not None:
+                out[key] = run
+        return out
+
+    def record(self, key: str, run: BenchRun) -> bool:
+        """Journal one finished unit (atomic; the checkpoint write)."""
+        return self.put(key, run)
+
+
+def default_memo_dir() -> Path:
+    """Resolved memo-store directory (``REPRO_MEMO_DIR`` override,
+    else ``<cache root>/results`` next to the compile cache)."""
+    override = os.environ.get("REPRO_MEMO_DIR")
+    if override:
+        return Path(override)
+    return cache_root() / "results"
+
+
+class MemoStore(ResultStore):
+    """Cross-sweep run-result memo store (see module docstring)."""
+
+    #: Captured-failure kinds that are pure functions of the unit key
+    #: and therefore safe to serve from the store.
+    _MEMOIZABLE_ERRORS = ("hang", "wrong-output")
+
+    def __init__(self, root: Optional[Path] = None):
+        super().__init__(Path(root) if root is not None
+                         else default_memo_dir())
+
+    def memoizable(self, run: BenchRun) -> bool:
+        """Should this finished run be published to the store?"""
+        if run.error is None:
+            return True
+        return run.error_kind in self._MEMOIZABLE_ERRORS
+
+    def put(self, key: str, run: BenchRun) -> bool:
+        if not self.memoizable(run):
+            return False
+        return super().put(key, run)

@@ -1,287 +1,111 @@
-"""Parallel experiment execution layer.
+"""Compatibility facade over the execution pipeline.
 
-Every figure and ablation in this reproduction is a sweep of
-*independent* simulations (bench x config x machine parameters), which
-makes the suite embarrassingly parallel: the only coupling between runs
-is the order their results are reported in.  This module factors the
-"how do runs execute" question out of the harness into an
-*execution context* (in the spirit of puma's execution contexts: switch
-a whole program between serial and multi-process operation by changing
-the one line that instantiates the context):
+The execution layer proper lives in four staged modules now --
+:mod:`repro.harness.jobs` (RunSpec / WorkUnit / SweepPlan and the
+bit-identical merge), :mod:`repro.harness.transport` (serial / pool /
+spool-directory dispatch), :mod:`repro.harness.checkpoint` (resume
+journal + run-result memo store) and :mod:`repro.harness.pipeline`
+(the driver tying them together).  This module keeps the original
+``ExecutionContext`` surface as thin wrappers so existing callers and
+one-off scripts keep working:
 
-* :class:`RunSpec` -- a picklable, hashable description of one run
-  (bench, config, size, schedule, parameter and machine overrides);
-* :class:`SerialContext` -- executes specs in order, in process;
-* :class:`ProcessPoolContext` -- fans specs out over a
-  ``multiprocessing`` pool (``--jobs N`` on the CLI) and merges results
-  *by spec*, so the returned list is in submission order no matter
-  which worker finished first.
+* :class:`SerialContext` == pipeline over :class:`SerialTransport`;
+* :class:`ProcessPoolContext` == pipeline over
+  :class:`PoolTransport` (same hardened retry/degrade behaviour,
+  same ``events``/``degraded`` reporting);
+* :func:`make_context` -- the ``--jobs``-style factory.
 
-Determinism guarantee: each simulation is a pure function of its spec
-(the engine breaks timestamp ties with a monotone sequence number, and
-compilation is content-addressed), so simulated cycle counts are
-bit-identical across worker counts and submission orders.  The
-``tests/test_harness_exec.py`` suite pins this down.
+New code should build an :class:`~repro.harness.pipeline.
+ExecutionPipeline` directly (and gains checkpointing and memoization
+for free); the wrappers exist so the one-line "switch a whole program
+between serial and multi-process operation" idiom keeps its shape.
 """
 
 from __future__ import annotations
 
-import logging
-import os
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..config.machine import MachineConfig, PAPER_MACHINE
-from ..faults import FaultConfig
-from ..npb import REGISTRY
-from ..runtime import SimDeadlockError, run_program
-from .runner import BenchRun, _env_for, _mode_for
+# Re-exports: the historical home of these names.
+from .jobs import (RunSpec, execute_spec, static_specs,  # noqa: F401
+                   dynamic_specs)
+from .pipeline import ExecutionPipeline
+from .runner import BenchRun
+from .transport import PoolTransport, SerialTransport, Transport
 
 __all__ = ["RunSpec", "ExecutionContext", "SerialContext",
-           "ProcessPoolContext", "execute_spec", "make_context"]
-
-_LOG = logging.getLogger("repro.harness.exec")
-
-
-@dataclass(frozen=True)
-class RunSpec:
-    """One benchmark run, described by value.
-
-    Everything here is hashable and picklable: the spec is both the job
-    description shipped to pool workers and the merge key results are
-    collated by.  ``params`` and ``machine_kw`` are stored as sorted
-    item tuples (dicts are neither hashable nor order-canonical).
-    """
-
-    bench: str
-    config: str                               # "single"|"double"|"G0"|"L1"
-    size: str = "bench"
-    schedule: Optional[Tuple[str, Optional[int]]] = None
-    params: Tuple[Tuple[str, int], ...] = ()
-    cfg: MachineConfig = PAPER_MACHINE
-    verify: bool = True
-    machine_kw: Tuple[Tuple[str, Any], ...] = ()
-    #: Seeded fault campaign (chaos runs); the FaultPlan is rebuilt
-    #: from this inside each worker, so schedules are identical for
-    #: serial and pooled execution.
-    faults: Optional[FaultConfig] = None
-    #: Watchdog cycle budget (None = machine default).
-    timeout_cycles: Optional[float] = None
-    #: Capture failures as BenchRun.error instead of raising (chaos
-    #: matrices must survive a hanging or wrong run and keep sweeping).
-    capture_errors: bool = False
-
-    @staticmethod
-    def make(bench: str, config: str, size: str = "bench",
-             schedule: Optional[Tuple[str, Optional[int]]] = None,
-             params: Optional[Dict[str, int]] = None,
-             cfg: MachineConfig = PAPER_MACHINE,
-             verify: bool = True,
-             faults: Optional[FaultConfig] = None,
-             timeout_cycles: Optional[float] = None,
-             capture_errors: bool = False, **machine_kw) -> "RunSpec":
-        """Build a spec from the :func:`run_benchmark` argument shapes."""
-        return RunSpec(
-            bench=bench, config=config, size=size, schedule=schedule,
-            params=tuple(sorted((params or {}).items())),
-            cfg=cfg, verify=verify,
-            machine_kw=tuple(sorted(machine_kw.items())),
-            faults=faults, timeout_cycles=timeout_cycles,
-            capture_errors=capture_errors)
-
-    @property
-    def key(self) -> Tuple:
-        """Stable identity used to merge results deterministically."""
-        return (self.bench, self.config, self.size, self.schedule,
-                self.params, self.cfg, self.machine_kw, self.faults,
-                self.timeout_cycles)
-
-    def __str__(self) -> str:
-        extra = f" {dict(self.params)}" if self.params else ""
-        return f"{self.bench}/{self.config}({self.size}){extra}"
-
-
-def execute_spec(spec: RunSpec) -> BenchRun:
-    """Run one spec to completion (compile, simulate, verify).
-
-    This is the single execution path shared by every context -- and by
-    :func:`repro.harness.run_benchmark` -- so serial and pooled sweeps
-    cannot drift apart.  Per-stage wall-clock timings are recorded on
-    the returned run for the perf baseline.
-
-    With ``spec.capture_errors``, failures (watchdog expiry, a wrong
-    result, a crash) come back as ``BenchRun.error``/``error_kind``
-    instead of raising, so a chaos sweep records the outcome and keeps
-    going.
-    """
-    try:
-        return _execute(spec)
-    except Exception as e:                    # noqa: BLE001 - classified
-        if not spec.capture_errors:
-            raise
-        if isinstance(e, SimDeadlockError):
-            kind, msg = "hang", e.summary
-        elif isinstance(e, AssertionError):
-            kind, msg = "wrong-output", f"verification failed: {e}"
-        else:
-            kind, msg = "crash", f"{type(e).__name__}: {e}"
-        run = BenchRun(spec.bench, spec.config, None, {})
-        run.error = msg
-        run.error_kind = kind
-        return run
-
-
-def _execute(spec: RunSpec) -> BenchRun:
-    ks = REGISTRY[spec.bench]
-    overrides = dict(spec.params)
-    full_params = ks.params(spec.size, **overrides)
-    run_kw: Dict[str, Any] = dict(spec.machine_kw)
-    if spec.faults is not None:
-        run_kw["faults"] = spec.faults
-    if spec.timeout_cycles is not None:
-        run_kw["max_cycles"] = spec.timeout_cycles
-    t0 = time.perf_counter()
-    image = ks.compile(spec.size, **overrides)
-    t1 = time.perf_counter()
-    result = run_program(image, cfg=spec.cfg, mode=_mode_for(spec.config),
-                         env=_env_for(spec.config, spec.schedule),
-                         **run_kw)
-    t2 = time.perf_counter()
-    if spec.verify:
-        ks.verify(result.store, spec.size, **overrides)
-    t3 = time.perf_counter()
-    run = BenchRun(spec.bench, spec.config, result, full_params)
-    run.timing = {"compile_s": t1 - t0, "sim_s": t2 - t1,
-                  "verify_s": t3 - t2, "total_s": t3 - t0}
-    return run
-
-
-def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, BenchRun]:
-    """Pool worker entry point (module-level for picklability)."""
-    index, spec = item
-    return index, execute_spec(spec)
+           "ProcessPoolContext", "execute_spec", "make_context",
+           "static_specs", "dynamic_specs"]
 
 
 class ExecutionContext:
-    """How a batch of independent :class:`RunSpec` jobs executes.
+    """Legacy facade: a pipeline pinned to one transport.
 
-    Subclasses implement :meth:`run`; :meth:`map` adds the keyed view.
-    Both preserve the submission order of ``specs`` in their output
-    regardless of completion order -- the determinism contract every
-    caller (suites, figures, tests) relies on.
+    :meth:`run` / :meth:`map` preserve the submission order of
+    ``specs`` in their output regardless of completion order -- the
+    determinism contract every caller (suites, figures, tests) relies
+    on, now enforced by :meth:`repro.harness.jobs.SweepPlan.merge`.
     """
+
+    def _transport(self) -> Transport:
+        raise NotImplementedError
+
+    def _pipeline(self) -> ExecutionPipeline:
+        return ExecutionPipeline(transport=self._transport())
 
     def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
         """Execute all specs; results in submission order."""
-        raise NotImplementedError
+        pipe = self._pipeline()
+        try:
+            return pipe.run(specs)
+        finally:
+            self._adopt(pipe)
 
     def map(self, specs: Sequence[RunSpec]) -> Dict[Tuple, BenchRun]:
         """Execute all specs; results keyed by ``spec.key``."""
         specs = list(specs)
         return {s.key: r for s, r in zip(specs, self.run(specs))}
 
+    def _adopt(self, pipe: ExecutionPipeline) -> None:
+        """Mirror transport health onto the context (legacy surface)."""
+
 
 class SerialContext(ExecutionContext):
     """Execute specs one after another in this process."""
 
-    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
-        return [execute_spec(s) for s in specs]
+    def _transport(self) -> Transport:
+        return SerialTransport()
 
 
 class ProcessPoolContext(ExecutionContext):
-    """Fan specs out over a process pool, hardened against worker loss.
+    """Fan specs out over a hardened process pool (``--jobs N``).
 
-    Results are merged by submission index, so the output order -- and
+    Results are merged by submission order, so the output -- and
     therefore every downstream table -- is identical to
-    :class:`SerialContext`'s; only wall-clock changes.  ``jobs``
-    defaults to the host's CPU count.  Batches of one spec (or
-    ``jobs=1``) run inline: a pool would only add fork overhead.
-
-    Crash handling: a killed or crashed worker (``BrokenProcessPool``)
-    costs one bounded retry of the unfinished specs on a fresh pool;
-    if that fails too, the remainder degrades gracefully to in-process
-    serial execution.  Degradation is never silent: it is logged, and
-    recorded on :attr:`events` / :attr:`degraded` for callers (the CLI
-    turns it into a non-zero exit).  Exceptions raised *by a spec*
-    (verification failures, watchdog expiry) still propagate normally
-    -- only worker-process loss is retried.
+    :class:`SerialContext`'s; only wall-clock changes.  Worker loss
+    costs one bounded retry, then a loud degradation to serial (see
+    :class:`~repro.harness.transport.PoolTransport`); :attr:`events`
+    and :attr:`degraded` report the last run's health.
     """
 
-    #: Pool passes before degrading to serial (initial try + 1 retry).
-    max_pool_attempts = 2
-
     def __init__(self, jobs: Optional[int] = None,
-                 start_method: Optional[str] = None, chunksize: int = 1):
+                 start_method: Optional[str] = None):
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        import os
         self.jobs = jobs or os.cpu_count() or 1
         self.start_method = start_method
-        self.chunksize = chunksize      # kept for API compatibility
         #: Human-readable record of retries/degradation (last run()).
         self.events: List[str] = []
         #: True when any spec of the last run() fell back to serial.
         self.degraded = False
 
-    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
-        specs = list(specs)
-        self.events = []
-        self.degraded = False
-        if min(self.jobs, len(specs)) <= 1:
-            return SerialContext().run(specs)
-        results: List[Optional[BenchRun]] = [None] * len(specs)
-        pending = list(range(len(specs)))
-        for attempt in range(self.max_pool_attempts):
-            if not pending:
-                break
-            pending = self._pool_pass(specs, results, pending, attempt)
-        if pending:
-            self.degraded = True
-            self._note(f"degrading to serial execution for "
-                       f"{len(pending)} of {len(specs)} spec(s)")
-            for i in pending:
-                results[i] = execute_spec(specs[i])
-        return results               # type: ignore[return-value]
+    def _transport(self) -> Transport:
+        return PoolTransport(jobs=self.jobs,
+                             start_method=self.start_method)
 
-    def _pool_pass(self, specs: List[RunSpec],
-                   results: List[Optional[BenchRun]],
-                   pending: List[int], attempt: int) -> List[int]:
-        """One pool attempt over ``pending``; returns what's still
-        unfinished (non-empty only after a worker crash)."""
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-        from concurrent.futures.process import BrokenProcessPool
-        ctx = mp.get_context(self.start_method)
-        broken = False
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending)),
-                    mp_context=ctx) as pool:
-                futures = {pool.submit(_execute_indexed, (i, specs[i])): i
-                           for i in pending}
-                for fut in as_completed(futures):
-                    try:
-                        index, run = fut.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        continue
-                    results[index] = run
-        except BrokenProcessPool:
-            broken = True
-        remaining = [i for i in pending if results[i] is None]
-        if remaining:
-            what = ("retrying once on a fresh pool"
-                    if attempt + 1 < self.max_pool_attempts
-                    else "falling back to serial execution")
-            why = ("pool worker crashed" if broken
-                   else "pool lost results")
-            self._note(f"{why}: {len(remaining)} of {len(specs)} spec(s) "
-                       f"unfinished after attempt {attempt + 1}; {what}")
-        return remaining
-
-    def _note(self, msg: str) -> None:
-        self.events.append(msg)
-        _LOG.warning(msg)
+    def _adopt(self, pipe: ExecutionPipeline) -> None:
+        self.events = list(pipe.events)
+        self.degraded = pipe.degraded
 
 
 def make_context(jobs: Optional[int]) -> ExecutionContext:
@@ -289,30 +113,3 @@ def make_context(jobs: Optional[int]) -> ExecutionContext:
     if jobs is None or jobs <= 1:
         return SerialContext()
     return ProcessPoolContext(jobs=jobs)
-
-
-# -- suite spec builders (used by runner.py and the perf baseline) ----------
-
-def static_specs(cfg: MachineConfig, size: str,
-                 benchmarks: Iterable[str], configs: Iterable[str],
-                 verify: bool = True, **machine_kw) -> List[RunSpec]:
-    """Specs of the Figure-2/3 static-scheduling sweep, in suite order."""
-    return [RunSpec.make(b, c, size=size, cfg=cfg, verify=verify,
-                         **machine_kw)
-            for b in benchmarks for c in configs]
-
-
-def dynamic_specs(cfg: MachineConfig, size: str,
-                  benchmarks: Iterable[str], configs: Iterable[str],
-                  verify: bool = True, **machine_kw) -> List[RunSpec]:
-    """Specs of the Figure-4/5 dynamic-scheduling sweep, in suite order."""
-    from .runner import DYNAMIC_PARAMS, dynamic_chunk
-    specs = []
-    for b in benchmarks:
-        chunk = dynamic_chunk(b, cfg, size)
-        params = DYNAMIC_PARAMS.get(b) if size == "bench" else None
-        for c in configs:
-            specs.append(RunSpec.make(
-                b, c, size=size, schedule=("dynamic", chunk),
-                params=params, cfg=cfg, verify=verify, **machine_kw))
-    return specs

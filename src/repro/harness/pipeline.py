@@ -1,0 +1,159 @@
+"""The execution pipeline driver: jobs -> transport -> checkpoint -> merge.
+
+:class:`ExecutionPipeline` is the one object consumers hand a spec
+matrix to.  Per sweep it:
+
+1. shards the specs into content-keyed units
+   (:class:`~repro.harness.jobs.SweepPlan`), deduplicating identical
+   specs;
+2. **resumes**: units already in the checkpoint journal load instantly
+   (``unit.resumed``) -- this is how a killed sweep continues instead
+   of restarting;
+3. **memoizes**: remaining units are looked up in the run-result memo
+   store (``memo.hit``/``memo.miss``) -- a repeated sweep is served
+   without simulating;
+4. dispatches only the rest through the configured
+   :class:`~repro.harness.transport.Transport`, journaling and
+   memoizing each result the moment it reaches the driver;
+5. merges everything back in submission order
+   (:meth:`~repro.harness.jobs.SweepPlan.merge`).
+
+Determinism contract, per stage: unit keys are pure functions of spec
++ code + tiers (jobs); transports may reorder completion but never
+results (merge is submission-ordered); journal/memo entries are only
+ever consulted under exactly the key that produced them -- so golden
+cycles, chaos-matrix outcomes and regress baselines are bit-identical
+through every transport and through any kill-and-resume.
+
+Effectiveness counters are recorded through the standard
+:class:`~repro.obs.probe.Probe` API on a ``pipeline`` track and
+surface in :attr:`rt_stats` (mirroring ``RunResult.rt_stats``) and on
+the CLI sweep summary line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.aggregate import Counter
+from ..obs.probe import Probe
+from .checkpoint import CheckpointJournal, MemoStore
+from .jobs import RunSpec, SweepPlan
+from .runner import BenchRun
+from .transport import SerialTransport, Transport
+
+__all__ = ["ExecutionPipeline"]
+
+
+class ExecutionPipeline:
+    """Checkpointed, memoized, transport-pluggable sweep execution.
+
+    ``transport`` defaults to :class:`SerialTransport`; pass a
+    :class:`~repro.harness.transport.PoolTransport` or
+    :class:`~repro.harness.transport.DirQueueTransport` to change how
+    units are dispatched without changing a single result bit.
+    ``journal`` (a :class:`CheckpointJournal`) makes the sweep
+    resumable; ``memo`` (a :class:`MemoStore`) serves repeated unit
+    keys from the store.  Both are optional and orthogonal.
+    """
+
+    def __init__(self, transport: Optional[Transport] = None,
+                 journal: Optional[CheckpointJournal] = None,
+                 memo: Optional[MemoStore] = None):
+        self.transport = transport or SerialTransport()
+        self.journal = journal
+        self.memo = memo
+        self.counters = Counter()
+        #: Effectiveness counters (memo.hit/memo.miss/unit.resumed/
+        #: unit.executed/unit.deduped), recorded via the Probe API.
+        self.probe = Probe("pipeline", counters=self.counters)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[BenchRun]:
+        """Execute all specs; results in submission order."""
+        return self.run_plan(SweepPlan(specs))
+
+    def map(self, specs: Sequence[RunSpec]) -> Dict[Tuple, BenchRun]:
+        """Execute all specs; results keyed by ``spec.key``."""
+        specs = list(specs)
+        return {s.key: r for s, r in zip(specs, self.run(specs))}
+
+    def run_plan(self, plan: SweepPlan) -> List[BenchRun]:
+        """Run one sharded sweep through resume -> memo -> transport,
+        journaling/memoizing as results land, and merge."""
+        results: Dict[str, BenchRun] = {}
+        units = plan.distinct()
+        self.probe.count("unit.planned", len(plan.units))
+        if len(units) < len(plan.units):
+            self.probe.count("unit.deduped", len(plan.units) - len(units))
+
+        if self.journal is not None:
+            resumed = self.journal.load([u.key for u in units])
+            if resumed:
+                self.probe.count("unit.resumed", len(resumed))
+            results.update(resumed)
+
+        if self.memo is not None:
+            for unit in units:
+                if unit.key in results:
+                    continue
+                hit = self.memo.get(unit.key)
+                if hit is not None:
+                    results[unit.key] = hit
+                    self.probe.count("memo.hit")
+                    # A memo hit is durable progress this sweep can
+                    # resume from too.
+                    if self.journal is not None:
+                        self.journal.record(unit.key, hit)
+                else:
+                    self.probe.count("memo.miss")
+
+        todo = [u for u in units if u.key not in results]
+
+        def on_result(unit, run: BenchRun) -> None:
+            results[unit.key] = run
+            self.probe.count("unit.executed")
+            if self.journal is not None:
+                self.journal.record(unit.key, run)
+            if self.memo is not None:
+                self.memo.put(unit.key, run)
+
+        if todo:
+            self.transport.run(todo, on_result)
+        return plan.merge(results)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def rt_stats(self) -> Dict[str, Dict[str, int]]:
+        """Pipeline counters in ``RunResult.rt_stats`` shape."""
+        counts = self.counters.as_dict()
+        return {"pipeline": counts} if counts else {}
+
+    def summary(self) -> str:
+        """One-line sweep summary (the CLI prints this)."""
+        c = self.counters.get
+        parts = [f"{c('unit.planned')} unit(s) via "
+                 f"{self.transport.describe()}"]
+        if c("unit.deduped"):
+            parts.append(f"{c('unit.deduped')} deduped")
+        if c("unit.resumed"):
+            parts.append(f"{c('unit.resumed')} resumed from checkpoint")
+        if self.memo is not None:
+            parts.append(f"memo {c('memo.hit')} hit(s) / "
+                         f"{c('memo.miss')} miss(es)")
+        parts.append(f"{c('unit.executed')} executed")
+        return "pipeline: " + ", ".join(parts)
+
+    # -- transport health (CLI exit-code plumbing) ---------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Did the transport lose workers and fall back to serial?"""
+        return self.transport.degraded
+
+    @property
+    def events(self) -> List[str]:
+        """Transport retry/degradation notes (last run)."""
+        return self.transport.events

@@ -34,7 +34,8 @@ import time
 from typing import List, Optional
 
 from ..config.machine import PAPER_MACHINE
-from .exec import SerialContext, static_specs
+from .jobs import static_specs
+from .pipeline import ExecutionPipeline
 
 __all__ = ["main", "check_baseline", "DEFAULT_WALL_TOL"]
 
@@ -49,7 +50,7 @@ def check_baseline(data: dict, wall_tol: float, out) -> List[str]:
     specs = static_specs(cfg, sweep["size"], sweep["benchmarks"],
                          sweep["configs"])
     t0 = time.perf_counter()
-    runs = SerialContext().run(specs)
+    runs = ExecutionPipeline().run(specs)
     wall = time.perf_counter() - t0
 
     failures: List[str] = []

@@ -90,9 +90,9 @@ def run_benchmark(bench: str, config: str,
     computed values against the NumPy reference.
 
     Thin wrapper over the execution layer: the spec/execute split in
-    :mod:`repro.harness.exec` is the single execution path, shared with
-    the parallel contexts."""
-    from .exec import RunSpec, execute_spec
+    :mod:`repro.harness.jobs` is the single execution path, shared
+    with every pipeline transport."""
+    from .jobs import RunSpec, execute_spec
     return execute_spec(RunSpec.make(
         bench, config, size=size, schedule=schedule, params=params,
         cfg=cfg, verify=verify, **machine_kw))
@@ -140,14 +140,17 @@ def run_static_suite(cfg: MachineConfig = PAPER_MACHINE,
                      **machine_kw) -> Dict[str, Dict[str, BenchRun]]:
     """All Figure-2/3 runs: {bench: {config: BenchRun}}.
 
-    ``context`` selects how the independent runs execute (default
-    :class:`~repro.harness.exec.SerialContext`); pass a
-    :class:`~repro.harness.exec.ProcessPoolContext` to fan them out.
-    Results are bit-identical either way."""
-    from .exec import SerialContext, static_specs
+    ``context`` selects how the independent runs execute: anything
+    with a submission-order-preserving ``run(specs)`` -- an
+    :class:`~repro.harness.pipeline.ExecutionPipeline` (serial by
+    default; give it a pool or spool transport, a checkpoint journal,
+    a memo store) or a legacy :mod:`~repro.harness.exec` context.
+    Results are bit-identical through any of them."""
+    from .jobs import static_specs
+    from .pipeline import ExecutionPipeline
     specs = static_specs(cfg, size, benchmarks, configs, verify=verify,
                          **machine_kw)
-    runs = (context or SerialContext()).run(specs)
+    runs = (context or ExecutionPipeline()).run(specs)
     return _merge_suite(specs, runs)
 
 
@@ -161,8 +164,9 @@ def run_dynamic_suite(cfg: MachineConfig = PAPER_MACHINE,
     """All Figure-4/5 runs.  §5.2: comparison against one task/CMP only,
     zero-token-global synchronization only (scheduling points make any
     looser policy converge to G0)."""
-    from .exec import SerialContext, dynamic_specs
+    from .jobs import dynamic_specs
+    from .pipeline import ExecutionPipeline
     specs = dynamic_specs(cfg, size, benchmarks, configs, verify=verify,
                           **machine_kw)
-    runs = (context or SerialContext()).run(specs)
+    runs = (context or ExecutionPipeline()).run(specs)
     return _merge_suite(specs, runs)

@@ -1,0 +1,504 @@
+"""Transports: how a batch of work units is dispatched (stage two).
+
+A :class:`Transport` takes the distinct :class:`~repro.harness.jobs.
+WorkUnit` shards of a sweep and executes them, reporting each finished
+``(unit, BenchRun)`` back to the driver via a callback *in the driver
+process*, in whatever order units complete.  Ordering is explicitly
+not a transport concern -- the :class:`~repro.harness.jobs.SweepPlan`
+merge restores submission order -- which is precisely what makes the
+dispatch mechanism pluggable:
+
+* :class:`SerialTransport` -- units in order, in process;
+* :class:`PoolTransport` -- a hardened local ``multiprocessing`` pool:
+  a killed or crashed worker costs one bounded retry on a fresh pool,
+  then the remainder degrades (loudly, never silently) to in-process
+  serial execution;
+* :class:`DirQueueTransport` -- units leased through a shared **spool
+  directory**: job files under ``units/``, exclusive-create claim
+  files under ``claims/``, atomically-published results under
+  ``results/``.  Any number of independent worker processes
+  (``repro worker DIR`` -- see :func:`run_worker`) may attach to the
+  same spool, on this host or any host sharing the filesystem; the
+  driver itself works inline, so a sweep completes even with zero
+  external workers.  Stalled leases (a worker SIGKILLed mid-unit) are
+  reaped after ``lease_s`` and the unit re-executed -- determinism
+  makes duplicated execution harmless (last atomic publish wins with
+  identical content).
+
+The spool's on-disk shape is deliberately the shape a multi-host work
+queue needs (karambaci's queue-prefix/worker-prefix separation and
+stalled-thread reaping are the exemplar): claim = lease, result =
+completion record, and the ``results/`` directory doubles as a crash
+journal -- re-running a driver over a half-finished spool harvests
+completed units without re-executing them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .jobs import WorkUnit, execute_spec, unit_key
+
+__all__ = ["Transport", "SerialTransport", "PoolTransport",
+           "DirQueueTransport", "run_worker"]
+
+_LOG = logging.getLogger("repro.harness.transport")
+
+#: Driver callback: one finished unit, invoked in the driver process.
+OnResult = Callable[[WorkUnit, object], None]
+
+
+class Transport:
+    """How distinct work units execute (see module docstring).
+
+    Subclasses implement :meth:`run`, calling ``on_result(unit, run)``
+    once per unit as results become available (any order).  A spec
+    that *raises* (verification failure without ``capture_errors``,
+    watchdog expiry) propagates out of :meth:`run` on every transport;
+    only worker-process loss is retried/degraded.
+    """
+
+    name = "transport"
+
+    def __init__(self):
+        #: Human-readable record of retries/degradation (last run()).
+        self.events: List[str] = []
+        #: True when any unit of the last run() fell back to serial.
+        self.degraded = False
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-word-ish label for sweep summary lines."""
+        return self.name
+
+    def _note(self, msg: str) -> None:
+        self.events.append(msg)
+        _LOG.warning(msg)
+
+
+class SerialTransport(Transport):
+    """Execute units one after another in the driver process."""
+
+    name = "serial"
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        self.events = []
+        self.degraded = False
+        for unit in units:
+            on_result(unit, execute_spec(unit.spec))
+
+
+# -- local process pool ------------------------------------------------------
+
+def _run_spec(spec):
+    """Worker-side execution seam (module-level for picklability; the
+    crash tests monkeypatch this to kill workers mid-unit)."""
+    return execute_spec(spec)
+
+
+def _execute_indexed(item: Tuple[int, object]) -> Tuple[int, object]:
+    """Pool worker entry point."""
+    index, spec = item
+    return index, _run_spec(spec)
+
+
+class PoolTransport(Transport):
+    """Fan units out over a process pool, hardened against worker loss.
+
+    ``jobs`` defaults to the host's CPU count.  Batches of one unit
+    (or ``jobs=1``) run inline: a pool would only add fork overhead.
+
+    Crash handling: a killed or crashed worker (``BrokenProcessPool``)
+    costs one bounded retry of the unfinished units on a fresh pool;
+    if that fails too, the remainder degrades gracefully to in-process
+    serial execution.  Degradation is never silent: it is logged and
+    recorded on :attr:`events` / :attr:`degraded` for callers (the CLI
+    turns it into a non-zero exit).
+    """
+
+    name = "pool"
+
+    #: Pool passes before degrading to serial (initial try + 1 retry).
+    max_pool_attempts = 2
+
+    def __init__(self, jobs: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        super().__init__()
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.start_method = start_method
+
+    def describe(self) -> str:
+        return f"pool(jobs={self.jobs})"
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        units = list(units)
+        self.events = []
+        self.degraded = False
+        if min(self.jobs, len(units)) <= 1:
+            for unit in units:
+                on_result(unit, execute_spec(unit.spec))
+            return
+        done = [False] * len(units)
+        pending = list(range(len(units)))
+        for attempt in range(self.max_pool_attempts):
+            if not pending:
+                break
+            pending = self._pool_pass(units, done, pending, attempt,
+                                      on_result)
+        if pending:
+            self.degraded = True
+            self._note(f"degrading to serial execution for "
+                       f"{len(pending)} of {len(units)} unit(s)")
+            for i in pending:
+                on_result(units[i], execute_spec(units[i].spec))
+
+    def _pool_pass(self, units: List[WorkUnit], done: List[bool],
+                   pending: List[int], attempt: int,
+                   on_result: OnResult) -> List[int]:
+        """One pool attempt over ``pending``; returns what's still
+        unfinished (non-empty only after a worker crash)."""
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+        ctx = mp.get_context(self.start_method)
+        broken = False
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending)),
+                    mp_context=ctx) as pool:
+                futures = {
+                    pool.submit(_execute_indexed, (i, units[i].spec)): i
+                    for i in pending}
+                for fut in as_completed(futures):
+                    try:
+                        index, run = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    done[index] = True
+                    on_result(units[index], run)
+        except BrokenProcessPool:
+            broken = True
+        remaining = [i for i in pending if not done[i]]
+        if remaining:
+            what = ("retrying once on a fresh pool"
+                    if attempt + 1 < self.max_pool_attempts
+                    else "falling back to serial execution")
+            why = ("pool worker crashed" if broken
+                   else "pool lost results")
+            self._note(f"{why}: {len(remaining)} of {len(units)} unit(s) "
+                       f"unfinished after attempt {attempt + 1}; {what}")
+        return remaining
+
+
+# -- shared spool directory --------------------------------------------------
+
+class _UnitFailure:
+    """A spec-raised exception, published so the driver re-raises it.
+
+    Spool workers must not die on a failing unit (they would retry it
+    forever across the fleet); they publish the failure as the unit's
+    result and move on, and the driver raises it at harvest -- the
+    same "spec errors propagate" contract the other transports keep.
+    """
+
+    def __init__(self, exc: BaseException):
+        try:
+            self._pickled = pickle.dumps(exc)
+        except Exception:
+            self._pickled = None
+        self._repr = f"{type(exc).__name__}: {exc}"
+
+    def unwrap(self) -> BaseException:
+        if self._pickled is not None:
+            try:
+                return pickle.loads(self._pickled)
+            except Exception:
+                pass
+        return RuntimeError(f"spool worker failure: {self._repr}")
+
+
+def _atomic_pickle(payload, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    with os.fdopen(fd, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _load_pickle(path: Path):
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        return None
+
+
+class _Spool:
+    """The on-disk protocol shared by driver and workers.
+
+    ``units/<key>.spec``    pickled RunSpec (the job description);
+    ``claims/<key>.claim``  lease: JSON ``{pid, time}``, created with
+                            O_CREAT|O_EXCL so exactly one process
+                            wins a unit;
+    ``results/<key>.run``   pickled BenchRun (or :class:`_UnitFailure`),
+                            atomically published.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.units = self.root / "units"
+        self.claims = self.root / "claims"
+        self.results = self.root / "results"
+
+    def ensure(self) -> None:
+        for d in (self.units, self.claims, self.results):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # -- units ---------------------------------------------------------------
+
+    def enqueue(self, key: str, spec) -> bool:
+        """Publish a job file unless it (or its result) already
+        exists; True if this call created it."""
+        if self.has_result(key) or self.unit_path(key).is_file():
+            return False
+        _atomic_pickle(spec, self.unit_path(key))
+        return True
+
+    def unit_path(self, key: str) -> Path:
+        return self.units / f"{key}.spec"
+
+    def pending_keys(self) -> List[str]:
+        """Enqueued units without a published result, sorted for a
+        deterministic claim scan order."""
+        if not self.units.is_dir():
+            return []
+        return sorted(p.name[:-5] for p in self.units.glob("*.spec")
+                      if not self.has_result(p.name[:-5]))
+
+    def load_spec(self, key: str):
+        return _load_pickle(self.unit_path(key))
+
+    # -- claims (leases) -----------------------------------------------------
+
+    def claim_path(self, key: str) -> Path:
+        return self.claims / f"{key}.claim"
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically lease a unit (O_CREAT|O_EXCL claim file)."""
+        try:
+            fd = os.open(self.claim_path(key),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            json.dump({"pid": os.getpid(), "time": time.time()}, fh)
+        return True
+
+    def release(self, key: str) -> None:
+        try:
+            self.claim_path(key).unlink()
+        except OSError:
+            pass
+
+    def claim_age(self, key: str) -> Optional[float]:
+        """Seconds since the unit was claimed (None = unclaimed)."""
+        try:
+            return max(0.0, time.time()
+                       - self.claim_path(key).stat().st_mtime)
+        except OSError:
+            return None
+
+    def reap_stale(self, keys, lease_s: float) -> List[str]:
+        """Drop claims older than the lease so the unit can be re-won.
+
+        The dead worker's half-run is simply abandoned; if it was
+        merely slow and publishes later, the atomic result replace is
+        idempotent (deterministic content).
+        """
+        reaped = []
+        for key in keys:
+            age = self.claim_age(key)
+            if age is not None and age > lease_s:
+                self.release(key)
+                reaped.append(key)
+        return reaped
+
+    # -- results -------------------------------------------------------------
+
+    def result_path(self, key: str) -> Path:
+        return self.results / f"{key}.run"
+
+    def has_result(self, key: str) -> bool:
+        return self.result_path(key).is_file()
+
+    def publish(self, key: str, payload) -> None:
+        _atomic_pickle(payload, self.result_path(key))
+
+    def load_result(self, key: str):
+        return _load_pickle(self.result_path(key))
+
+
+class DirQueueTransport(Transport):
+    """Lease units through a shared spool directory (see module
+    docstring).  The driver enqueues every unit, then alternates
+    between harvesting results published by attached workers and
+    claiming+executing units itself, so progress never depends on
+    external workers existing.
+
+    ``lease_s`` bounds how long a crashed worker can pin a unit; set
+    it above the longest expected single-unit wall time (a merely-slow
+    worker whose lease is reaped causes a harmless duplicate
+    execution, not an error).
+    """
+
+    name = "spool"
+
+    def __init__(self, root, lease_s: float = 60.0, poll_s: float = 0.05):
+        super().__init__()
+        self.spool = _Spool(root)
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+
+    def describe(self) -> str:
+        return f"spool({self.spool.root})"
+
+    def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
+        self.events = []
+        self.degraded = False
+        self.spool.ensure()
+        pending = {u.key: u for u in units}
+        for u in units:
+            self.spool.enqueue(u.key, u.spec)
+        while pending:
+            # Harvest everything published since the last look (our own
+            # inline work and any attached worker's).
+            harvested = False
+            for key in list(pending):
+                payload = self.spool.load_result(key)
+                if payload is None:
+                    continue
+                harvested = True
+                unit = pending.pop(key)
+                if isinstance(payload, _UnitFailure):
+                    raise payload.unwrap()
+                on_result(unit, payload)
+            if not pending or harvested:
+                continue
+            # Work inline: lease the first claimable unit and run it.
+            if self._work_one(pending):
+                continue
+            # Everything is leased out: reap the stalled, wait briefly.
+            reaped = self.spool.reap_stale(pending, self.lease_s)
+            for key in reaped:
+                self._note(f"reaped stalled lease on unit "
+                           f"{key[:12]} (> {self.lease_s:g}s)")
+            if not reaped:
+                time.sleep(self.poll_s)
+
+    def _work_one(self, pending) -> bool:
+        """Claim + execute + publish one unit inline; False when every
+        pending unit is currently leased by someone else."""
+        for key, unit in pending.items():
+            if self.spool.claim_age(key) is not None:
+                continue
+            if not self.spool.try_claim(key):
+                continue
+            try:
+                payload = execute_spec(unit.spec)
+            except Exception as e:          # noqa: BLE001 - republished
+                # Publish so attached workers stop re-trying the unit,
+                # then surface it exactly like the other transports.
+                self.spool.publish(key, _UnitFailure(e))
+                self.spool.release(key)
+                raise
+            self.spool.publish(key, payload)
+            self.spool.release(key)
+            return True
+        return False
+
+
+def run_worker(root, poll_s: float = 0.1, lease_s: float = 60.0,
+               max_units: Optional[int] = None, drain: bool = True,
+               out=None) -> int:
+    """Worker loop for ``repro worker DIR``: lease, execute, publish.
+
+    Attaches to the spool at ``root`` and keeps winning claimable
+    units until the spool is drained (``drain=True``, the default --
+    the process exits 0 when no executable unit remains) or
+    ``max_units`` have been executed.  A unit whose spec no longer
+    hashes to its enqueued key (the worker runs different code or
+    hot-path tiers than the driver) is *skipped*, never executed: a
+    result the driver's key scheme can't trust must not be published.
+
+    Failing specs are published as failure records for the driver to
+    re-raise; the worker itself keeps going.  Returns the number of
+    units this worker executed.
+    """
+    import sys
+    out = out or sys.stdout
+    spool = _Spool(root)
+    spool.ensure()
+    executed = 0
+    skipped = set()
+    while max_units is None or executed < max_units:
+        pending = [k for k in spool.pending_keys() if k not in skipped]
+        if not pending:
+            if drain:
+                break
+            time.sleep(poll_s)
+            continue
+        progressed = False
+        for key in pending:
+            if max_units is not None and executed >= max_units:
+                break
+            if spool.claim_age(key) is not None:
+                continue
+            if not spool.try_claim(key):
+                continue
+            spec = spool.load_spec(key)
+            if spec is None or unit_key(spec) != key:
+                spool.release(key)
+                skipped.add(key)
+                print(f"worker: skipping unit {key[:12]} "
+                      f"(stale or foreign key -- code/tier mismatch?)",
+                      file=out)
+                continue
+            t0 = time.perf_counter()
+            try:
+                payload = _run_spec(spec)
+            except Exception as e:          # noqa: BLE001 - republished
+                payload = _UnitFailure(e)
+            spool.publish(key, payload)
+            spool.release(key)
+            executed += 1
+            progressed = True
+            status = ("FAILED" if isinstance(payload, _UnitFailure)
+                      else f"{payload.cycles:,.0f} cycles")
+            print(f"worker: {spec} -> {status} "
+                  f"[{time.perf_counter() - t0:.2f}s] ({key[:12]})",
+                  file=out)
+        if not progressed:
+            # Everything pending is leased elsewhere: reap stalled
+            # claims, then wait for publishes or lease expiry.
+            if not spool.reap_stale(pending, lease_s):
+                time.sleep(poll_s)
+    if skipped:
+        print(f"worker: done, {executed} unit(s) executed, "
+              f"{len(skipped)} skipped (key mismatch)", file=out)
+    else:
+        print(f"worker: done, {executed} unit(s) executed", file=out)
+    return executed

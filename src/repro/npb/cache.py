@@ -41,7 +41,7 @@ from ..compiler import CompiledProgram, compile_source
 from ..hotpath import hotpath_enabled
 
 __all__ = ["CompileCache", "COMPILE_CACHE", "compiler_fingerprint",
-           "cache_stats", "clear_cache"]
+           "cache_stats", "clear_cache", "cache_root"]
 
 #: Modules whose sources determine what the compiler produces.  Any
 #: edit to one of them changes the fingerprint and invalidates every
@@ -75,14 +75,23 @@ def compiler_fingerprint() -> str:
     return _fingerprint
 
 
-def _disk_dir() -> Optional[Path]:
-    """Resolved on-disk cache directory, or None when disabled."""
-    if os.environ.get("REPRO_DISK_CACHE", "1") == "0":
-        return None
+def cache_root() -> Path:
+    """Root of every on-disk content-addressed layer: compiled images
+    live under ``<root>/compile``, the harness's run-result memo store
+    (:class:`repro.harness.checkpoint.MemoStore`) under
+    ``<root>/results``.  ``REPRO_CACHE_DIR`` overrides the default
+    ``~/.cache/repro``."""
     base = os.environ.get("REPRO_CACHE_DIR")
     if base:
-        return Path(base) / "compile"
-    return Path.home() / ".cache" / "repro" / "compile"
+        return Path(base)
+    return Path.home() / ".cache" / "repro"
+
+
+def _disk_dir() -> Optional[Path]:
+    """Resolved on-disk compile-cache directory, or None when disabled."""
+    if os.environ.get("REPRO_DISK_CACHE", "1") == "0":
+        return None
+    return cache_root() / "compile"
 
 
 class CompileCache:

@@ -98,6 +98,33 @@ def test_bench_unknown_name():
     assert rc == 2
 
 
+def test_bench_resume_and_memo_flags(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_MEMO_DIR", str(tmp_path / "memo"))
+    args = ["bench", "cg", "--size", "test", "--cmps", "4",
+            "--resume", str(tmp_path / "journal"), "--memo"]
+    rc, out = run_cli(args)
+    assert rc == 0
+    assert "pipeline:" in out and "memo 0 hit(s) / 4 miss(es)" in out
+    # identical sweep: memo-served end to end, resumed from the journal
+    rc, out = run_cli(args)
+    assert rc == 0
+    assert "4 resumed from checkpoint" in out
+    assert "0 executed" in out
+
+
+def test_bench_spool_flag(tmp_path):
+    rc, out = run_cli(["bench", "cg", "--size", "test", "--cmps", "4",
+                       "--spool", str(tmp_path / "spool")])
+    assert rc == 0
+    assert "via spool" in out and "4 executed" in out
+
+
+def test_worker_on_empty_spool(tmp_path):
+    rc, out = run_cli(["worker", str(tmp_path / "spool")])
+    assert rc == 0
+    assert "0 unit(s) executed" in out
+
+
 def test_compile_error_reported(tmp_path):
     f = tmp_path / "bad.c"
     f.write_text("void main() { x = 1; }")

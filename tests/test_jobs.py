@@ -1,0 +1,102 @@
+"""Work-unit layer in isolation: spec identity, content keys, and the
+bit-identical-merge contract (property-tested -- no simulation here;
+merge correctness must not depend on what a "result" is)."""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.harness.jobs import (RunSpec, SweepPlan, code_fingerprint,
+                                unit_key)
+
+# -- spec identity -----------------------------------------------------------
+
+
+def test_key_covers_verify_and_capture_errors():
+    """Regression: specs differing only in verify/capture_errors used to
+    collide in .key (and so in any dict keyed by it)."""
+    base = RunSpec.make("cg", "G0", size="test")
+    no_verify = RunSpec.make("cg", "G0", size="test", verify=False)
+    captured = RunSpec.make("cg", "G0", size="test", capture_errors=True)
+    keys = {base.key, no_verify.key, captured.key}
+    assert len(keys) == 3
+    # ...and the distinction survives into the content address too.
+    assert len({unit_key(base), unit_key(no_verify),
+                unit_key(captured)}) == 3
+
+
+def test_key_equal_for_equal_specs():
+    a = RunSpec.make("cg", "G0", size="test", params={"na": 64, "nz": 4})
+    b = RunSpec.make("cg", "G0", size="test", params={"nz": 4, "na": 64})
+    assert a == b and a.key == b.key and unit_key(a) == unit_key(b)
+
+
+def test_specs_pickle_roundtrip_preserves_key():
+    spec = RunSpec.make("mg", "L1", size="test", timeout_cycles=1e6,
+                        capture_errors=True)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec and unit_key(clone) == unit_key(spec)
+
+
+def test_code_fingerprint_is_stable_within_a_process():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+# -- the merge contract ------------------------------------------------------
+
+_BENCHES = st.sampled_from(["cg", "mg", "lu", "is", "ep", "ft"])
+_CONFIGS = st.sampled_from(["single", "double", "G0", "L1"])
+
+
+@st.composite
+def _spec_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [RunSpec.make(draw(_BENCHES), draw(_CONFIGS), size="test")
+            for _ in range(n)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(specs=_spec_lists(), data=st.data())
+def test_merge_restores_submission_order_from_any_arrival_order(
+        specs, data):
+    """A transport may finish units in any order; merge must hand back
+    one result per submission slot, in submission order, fanning a
+    shared result out to every duplicate spec."""
+    plan = SweepPlan(specs)
+    distinct = plan.distinct()
+    # distinct() keeps first-submission order and is duplicate-free
+    assert [u.key for u in distinct] == plan.keys
+    assert len(set(plan.keys)) == len(plan.keys)
+    assert len(plan) == len(specs)
+
+    arrival = data.draw(st.permutations(distinct))
+    results = {u.key: ("run-for", u.key) for u in arrival}
+    merged = plan.merge(results)
+    assert len(merged) == len(specs)
+    for unit, got in zip(plan.units, merged):
+        assert got == ("run-for", unit.key)
+    # duplicates share the same result object
+    by_key = {}
+    for unit, got in zip(plan.units, merged):
+        assert by_key.setdefault(unit.key, got) is got
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=_spec_lists())
+def test_merge_raises_on_a_lost_unit(specs):
+    plan = SweepPlan(specs)
+    results = {u.key: object() for u in plan.distinct()}
+    del results[plan.keys[-1]]
+    with pytest.raises(KeyError):
+        plan.merge(results)
+
+
+def test_identical_specs_share_one_unit():
+    spec = RunSpec.make("cg", "single", size="test")
+    plan = SweepPlan([spec, spec, spec])
+    assert len(plan) == 3
+    assert len(plan.distinct()) == 1
+    merged = plan.merge({plan.keys[0]: "r"})
+    assert merged == ["r", "r", "r"]

@@ -1,0 +1,229 @@
+"""Kill-and-resume: a sweep SIGKILLed mid-flight -- whether a spool
+worker or the pooled driver itself -- resumes from its checkpoint
+journal with a bit-identical merged cycle map and without re-executing
+completed units.  Plus the journal/memo store semantics those
+guarantees rest on."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.harness.checkpoint import (CheckpointJournal, MemoStore,
+                                      ResultStore, default_memo_dir)
+from repro.harness.jobs import RunSpec, SweepPlan, unit_key
+from repro.harness.pipeline import ExecutionPipeline
+from repro.harness.runner import BenchRun
+from repro.harness.transport import DirQueueTransport, SerialTransport
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+
+def _specs(configs=("single", "G0")):
+    return [RunSpec.make("cg", c, size="test", cfg=CFG) for c in configs]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Uninterrupted serial cycles for the three-config sweep."""
+    runs = ExecutionPipeline().run(_specs(("single", "double", "G0")))
+    return {r.config: r.cycles for r in runs}
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _wait_for(predicate, timeout_s=60.0, poll_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+# -- SIGKILL a spool worker --------------------------------------------------
+
+def test_sigkilled_spool_worker_resumes_bit_identical(golden, tmp_path):
+    """A worker SIGKILLed mid-claim leaves a stalled lease; the driver
+    reaps it, finishes the sweep, and cycles match the uninterrupted
+    serial run exactly."""
+    root = tmp_path / "spool"
+    specs = _specs(("single", "double", "G0"))
+    plan = SweepPlan(specs)
+    from repro.harness.transport import _Spool
+    spool = _Spool(root)
+    spool.ensure()
+    for u in plan.distinct():
+        spool.enqueue(u.key, u.spec)
+
+    # A worker that claims a unit and then wedges forever: the shape a
+    # SIGKILL mid-simulation leaves behind, made deterministic.
+    script = ("import sys, time\n"
+              "import repro.harness.transport as ht\n"
+              "ht._run_spec = lambda spec: time.sleep(3600)\n"
+              "ht.run_worker(sys.argv[1], drain=False)\n")
+    proc = subprocess.Popen([sys.executable, "-c", script, str(root)],
+                            env=_env(), stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        assert _wait_for(lambda: any(spool.claims.glob("*.claim"))), \
+            "worker never claimed a unit"
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        # the kill left a stalled lease and no result behind
+        held = [p.stem for p in spool.claims.glob("*.claim")]
+        assert held and not spool.has_result(held[0])
+
+        journal = CheckpointJournal(tmp_path / "journal")
+        pipe = ExecutionPipeline(
+            transport=DirQueueTransport(root, lease_s=0.3, poll_s=0.02),
+            journal=journal)
+        runs = pipe.run(specs)
+        assert {r.config: r.cycles for r in runs} == golden
+        assert any("reaped" in e for e in pipe.events)
+        assert sorted(journal.keys()) == sorted(plan.keys)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+# -- SIGKILL the pooled driver -----------------------------------------------
+
+def test_sigkilled_pooled_driver_resumes_without_reexecution(
+        golden, tmp_path):
+    """Kill a pooled sweep's driver (whole process group) once at least
+    one unit is journaled; a serial resume over the same journal loads
+    the completed units (unit.resumed) and executes only the rest, and
+    the merged cycle map is bit-identical to the uninterrupted run."""
+    journal_dir = tmp_path / "journal"
+    specs = _specs(("single", "double", "G0"))
+    plan = SweepPlan(specs)
+    script = (
+        "import sys\n"
+        "from repro.config import PAPER_MACHINE\n"
+        "from repro.harness.checkpoint import CheckpointJournal\n"
+        "from repro.harness.jobs import RunSpec\n"
+        "from repro.harness.pipeline import ExecutionPipeline\n"
+        "from repro.harness.transport import PoolTransport\n"
+        "cfg = PAPER_MACHINE.with_(n_cmps=4)\n"
+        "specs = [RunSpec.make('cg', c, size='test', cfg=cfg)\n"
+        "         for c in ('single', 'double', 'G0')]\n"
+        "ExecutionPipeline(transport=PoolTransport(jobs=2),\n"
+        "                  journal=CheckpointJournal(sys.argv[1])\n"
+        "                  ).run(specs)\n")
+    proc = subprocess.Popen([sys.executable, "-c", script,
+                             str(journal_dir)],
+                            env=_env(), start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        journal = CheckpointJournal(journal_dir)
+        appeared = _wait_for(lambda: len(journal) >= 1, timeout_s=120.0)
+        assert appeared, "driver never journaled a unit"
+        # SIGKILL driver and pool workers alike -- no atexit, no
+        # cleanup, exactly what a lost box looks like.
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+    survived = len(CheckpointJournal(journal_dir))
+    assert survived >= 1
+    resume = ExecutionPipeline(transport=SerialTransport(),
+                               journal=CheckpointJournal(journal_dir))
+    runs = resume.run(specs)
+    assert {r.config: r.cycles for r in runs} == golden
+    # completed units were loaded, not re-executed
+    assert resume.counters.get("unit.resumed") == survived
+    assert resume.counters.get("unit.executed") == len(plan.keys) - survived
+    assert "resumed from checkpoint" in resume.summary()
+
+
+# -- journal / memo store semantics ------------------------------------------
+
+def _fake_run(error_kind=None):
+    run = BenchRun("cg", "single", None, {})
+    if error_kind is not None:
+        run.error = f"synthetic {error_kind}"
+        run.error_kind = error_kind
+    return run
+
+
+def test_result_store_roundtrip_and_corruption(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    assert store.get("k") is None
+    assert store.put("k", _fake_run())
+    assert "k" in store and store.keys() == ["k"]
+    assert isinstance(store.get("k"), BenchRun)
+    # a torn/corrupt entry is a miss, never an error
+    store._path("bad").parent.mkdir(parents=True, exist_ok=True)
+    store._path("bad").write_bytes(b"\x00not a pickle")
+    assert store.get("bad") is None
+
+
+def test_journal_loads_only_requested_keys(tmp_path):
+    journal = CheckpointJournal(tmp_path / "j")
+    journal.record("a", _fake_run())
+    journal.record("b", _fake_run())
+    loaded = journal.load(["a", "missing"])
+    assert set(loaded) == {"a"}
+
+
+def test_memo_skips_nondeterministic_failures(tmp_path):
+    memo = MemoStore(tmp_path / "m")
+    assert memo.put("ok", _fake_run())
+    assert memo.put("hang", _fake_run("hang"))
+    assert memo.put("wrong", _fake_run("wrong-output"))
+    assert not memo.put("crash", _fake_run("crash"))
+    assert memo.get("crash") is None         # crashes stay retryable
+
+
+def test_memo_dir_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_MEMO_DIR", str(tmp_path / "override"))
+    assert default_memo_dir() == tmp_path / "override"
+    monkeypatch.delenv("REPRO_MEMO_DIR")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert default_memo_dir() == tmp_path / "cache" / "results"
+
+
+def test_second_sweep_is_served_from_the_memo(tmp_path):
+    """The memo store spans pipelines: a repeated sweep executes
+    nothing and reports only hits."""
+    memo_dir = tmp_path / "memo"
+    specs = _specs()
+    first = ExecutionPipeline(memo=MemoStore(memo_dir))
+    cold = [r.cycles for r in first.run(specs)]
+    assert first.counters.get("memo.miss") == len(specs)
+    assert first.counters.get("unit.executed") == len(specs)
+
+    second = ExecutionPipeline(memo=MemoStore(memo_dir))
+    warm = [r.cycles for r in second.run(specs)]
+    assert warm == cold
+    assert second.counters.get("memo.hit") == len(specs)
+    assert second.counters.get("memo.miss") == 0
+    assert second.counters.get("unit.executed") == 0
+    assert second.rt_stats["pipeline"]["memo.hit"] == len(specs)
+
+
+def test_memo_respects_code_and_spec_identity(tmp_path):
+    """Keys differing in any identity component never collide in the
+    store -- a verify=False result can't be served to a verify=True
+    sweep."""
+    a = RunSpec.make("cg", "single", size="test", cfg=CFG)
+    b = RunSpec.make("cg", "single", size="test", cfg=CFG, verify=False)
+    memo = MemoStore(tmp_path / "m")
+    memo.put(unit_key(a), _fake_run())
+    assert memo.get(unit_key(b)) is None

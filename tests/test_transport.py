@@ -1,0 +1,139 @@
+"""Transport pluggability: serial, pool and spool dispatch must agree
+bit-for-bit, and the spool protocol (claim files, published results,
+worker key checks) must hold up under cooperating processes."""
+
+import pickle
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.harness.jobs import RunSpec, SweepPlan, unit_key
+from repro.harness.pipeline import ExecutionPipeline
+from repro.harness.transport import (DirQueueTransport, PoolTransport,
+                                     SerialTransport, _Spool, run_worker)
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+
+def _specs():
+    return [RunSpec.make("cg", c, size="test", cfg=CFG)
+            for c in ("single", "G0")]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Serial-transport cycles for the module's spec pair -- the
+    reference every other transport must reproduce exactly."""
+    runs = ExecutionPipeline(transport=SerialTransport()).run(_specs())
+    return [r.cycles for r in runs]
+
+
+def test_pool_matches_serial_bit_for_bit(golden):
+    runs = ExecutionPipeline(transport=PoolTransport(jobs=2)).run(_specs())
+    assert [r.cycles for r in runs] == golden
+
+
+def test_spool_driver_completes_alone(golden, tmp_path):
+    """The driver works the spool inline: a sweep finishes with zero
+    attached workers, bit-identical to serial."""
+    pipe = ExecutionPipeline(transport=DirQueueTransport(tmp_path / "sp"))
+    runs = pipe.run(_specs())
+    assert [r.cycles for r in runs] == golden
+    assert pipe.counters.get("unit.executed") == 2
+
+
+def test_worker_drains_spool_and_driver_harvests(golden, tmp_path):
+    """An attached worker executes enqueued units; the driver then only
+    harvests (its inline path never fires)."""
+    root = tmp_path / "sp"
+    plan = SweepPlan(_specs())
+    spool = _Spool(root)
+    spool.ensure()
+    for u in plan.distinct():
+        spool.enqueue(u.key, u.spec)
+    executed = run_worker(root, drain=True,
+                          out=open(tmp_path / "w.log", "w"))
+    assert executed == 2
+    # drained spool: a second worker finds nothing
+    assert run_worker(root, drain=True,
+                      out=open(tmp_path / "w2.log", "w")) == 0
+    # driver harvest delivers the worker's results, in merge order
+    pipe = ExecutionPipeline(transport=DirQueueTransport(root))
+    runs = pipe.run(_specs())
+    assert [r.cycles for r in runs] == golden
+
+
+def test_worker_skips_key_mismatched_unit(tmp_path):
+    """A unit whose spec no longer hashes to its filename (code or tier
+    drift between driver and worker) is skipped, never executed."""
+    root = tmp_path / "sp"
+    spool = _Spool(root)
+    spool.ensure()
+    spec = RunSpec.make("cg", "single", size="test", cfg=CFG)
+    spool.enqueue("0" * 64, spec)            # wrong key on purpose
+    out = open(tmp_path / "w.log", "w")
+    assert run_worker(root, drain=True, out=out) == 0
+    out.close()
+    assert "skipping" in (tmp_path / "w.log").read_text()
+    assert not spool.has_result("0" * 64)
+    assert spool.unit_path("0" * 64).is_file()   # left for inspection
+
+
+def test_spool_spec_errors_propagate(tmp_path):
+    """A spec that raises (watchdog expiry) propagates out of the spool
+    driver exactly like the serial and pool transports."""
+    from repro.runtime import SimDeadlockError
+    spec = RunSpec.make("cg", "single", size="test", cfg=CFG,
+                        timeout_cycles=300)
+    pipe = ExecutionPipeline(transport=DirQueueTransport(tmp_path / "sp"))
+    with pytest.raises(SimDeadlockError):
+        pipe.run([spec])
+    # ...and the failure record is published so attached workers stop
+    # re-trying the unit.
+    spool = _Spool(tmp_path / "sp")
+    assert spool.has_result(unit_key(spec))
+
+
+def test_spool_reaps_stalled_lease(golden, tmp_path):
+    """A claim left behind by a dead worker is reaped after the lease
+    and the unit re-executed by whoever notices."""
+    root = tmp_path / "sp"
+    plan = SweepPlan(_specs())
+    spool = _Spool(root)
+    spool.ensure()
+    stuck = plan.distinct()[0]
+    assert spool.try_claim(stuck.key)        # a "worker" that died here
+    pipe = ExecutionPipeline(
+        transport=DirQueueTransport(root, lease_s=0.2, poll_s=0.02))
+    runs = pipe.run(_specs())
+    assert [r.cycles for r in runs] == golden
+    assert any("reaped" in e for e in pipe.events)
+
+
+def test_enqueue_is_idempotent(tmp_path):
+    spool = _Spool(tmp_path / "sp")
+    spool.ensure()
+    spec = RunSpec.make("cg", "single", size="test", cfg=CFG)
+    key = unit_key(spec)
+    assert spool.enqueue(key, spec)
+    assert not spool.enqueue(key, spec)      # already enqueued
+    spool.publish(key, "done")
+    spool.unit_path(key).unlink()
+    assert not spool.enqueue(key, spec)      # already resulted
+
+
+def test_claims_are_exclusive(tmp_path):
+    spool = _Spool(tmp_path / "sp")
+    spool.ensure()
+    assert spool.try_claim("k")
+    assert not spool.try_claim("k")          # second claimant loses
+    spool.release("k")
+    assert spool.try_claim("k")
+
+
+def test_unit_failure_roundtrips_exceptions():
+    from repro.harness.transport import _UnitFailure
+    wrapped = _UnitFailure(ValueError("boom"))
+    clone = pickle.loads(pickle.dumps(wrapped))
+    exc = clone.unwrap()
+    assert isinstance(exc, ValueError) and "boom" in str(exc)

@@ -7,15 +7,15 @@ import signal
 
 import pytest
 
-import repro.harness.exec as hx
-from repro.harness.exec import ProcessPoolContext, RunSpec
+import repro.harness.transport as ht
+from repro.harness.exec import ProcessPoolContext, RunSpec, SerialContext
 
 pytestmark = pytest.mark.skipif(
     "fork" not in __import__("multiprocessing").get_all_start_methods(),
     reason="crash tests rely on the fork start method")
 
 _PARENT = os.getpid()
-_REAL_EXECUTE_INDEXED = hx._execute_indexed
+_REAL_EXECUTE_INDEXED = ht._execute_indexed
 
 #: Env var naming a flag file; when set, workers die only until the
 #: flag exists (first-attempt crash, second attempt succeeds).
@@ -45,7 +45,7 @@ def _specs():
 
 
 def test_persistent_crash_retries_once_then_degrades(monkeypatch):
-    monkeypatch.setattr(hx, "_execute_indexed", _always_killer)
+    monkeypatch.setattr(ht, "_execute_indexed", _always_killer)
     ctx = ProcessPoolContext(jobs=2, start_method="fork")
     runs = ctx.run(_specs())
     # the sweep still completed, in order, with real results
@@ -60,7 +60,7 @@ def test_persistent_crash_retries_once_then_degrades(monkeypatch):
 
 
 def test_transient_crash_recovers_on_the_retry(monkeypatch, tmp_path):
-    monkeypatch.setattr(hx, "_execute_indexed", _once_killer)
+    monkeypatch.setattr(ht, "_execute_indexed", _once_killer)
     monkeypatch.setenv(_ONCE_ENV, str(tmp_path / "crashed.flag"))
     ctx = ProcessPoolContext(jobs=2, start_method="fork")
     runs = ctx.run(_specs())
@@ -70,10 +70,10 @@ def test_transient_crash_recovers_on_the_retry(monkeypatch, tmp_path):
 
 
 def test_degraded_results_match_serial(monkeypatch):
-    monkeypatch.setattr(hx, "_execute_indexed", _always_killer)
+    monkeypatch.setattr(ht, "_execute_indexed", _always_killer)
     ctx = ProcessPoolContext(jobs=2, start_method="fork")
     degraded = ctx.run(_specs())
-    serial = hx.SerialContext().run(_specs())
+    serial = SerialContext().run(_specs())
     assert [r.cycles for r in degraded] == [r.cycles for r in serial]
 
 
