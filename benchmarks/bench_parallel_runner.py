@@ -164,3 +164,85 @@ def test_null_sink_overhead(once):
     # observability may not cost more than 2% over the default path
     # (in practice it is faster -- no span/counter bookkeeping).
     assert data["null_over_aggregate"] <= 1.02, data
+
+
+# --------------------------------------------------- telemetry cost
+
+def _measure_telemetry_overhead():
+    """Wall-clock of the test-size static sweep with harness telemetry
+    disabled (NULL_TELEMETRY, the default) vs a live on-disk session,
+    warm compile cache, best-of-3 interleaved.  Same discipline as the
+    NullSink guard above: the disabled path's no-op hooks must be
+    free, and enabling must never change a cycle count."""
+    import tempfile
+
+    from repro.harness import ExecutionPipeline, SerialTransport, Telemetry
+
+    cfg = PAPER_MACHINE.with_(n_cmps=4)
+    specs = static_specs(cfg, "test", SMOKE_BENCHMARKS, SMOKE_CONFIGS)
+    baseline = ExecutionPipeline(transport=SerialTransport()).run(specs)
+
+    def run_off():
+        t0 = time.perf_counter()
+        runs = ExecutionPipeline(transport=SerialTransport()).run(specs)
+        return runs, time.perf_counter() - t0
+
+    off_s, on_s = [], []
+    last_tel = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(4):
+            def run_on(rep=rep):
+                nonlocal last_tel
+                last_tel = Telemetry(root=f"{tmp}/telemetry-{rep}")
+                t0 = time.perf_counter()
+                runs = ExecutionPipeline(transport=SerialTransport(),
+                                         telemetry=last_tel).run(specs)
+                dt = time.perf_counter() - t0
+                last_tel.close()
+                return runs, dt
+            # Alternate arm order per rep so slow-drift noise (cache
+            # pressure, scheduler) cannot bias one arm systematically.
+            first, second = ((run_off, run_on) if rep % 2 == 0
+                             else (run_on, run_off))
+            a_runs, a_dt = first()
+            b_runs, b_dt = second()
+            if rep % 2 == 0:
+                (off_runs, off_dt), (on_runs, on_dt) = \
+                    (a_runs, a_dt), (b_runs, b_dt)
+            else:
+                (on_runs, on_dt), (off_runs, off_dt) = \
+                    (a_runs, a_dt), (b_runs, b_dt)
+            off_s.append(off_dt)
+            on_s.append(on_dt)
+    base = [r.cycles for r in baseline]
+    assert [r.cycles for r in off_runs] == base
+    assert [r.cycles for r in on_runs] == base
+    return {
+        "sweep": {"benchmarks": SMOKE_BENCHMARKS,
+                  "configs": SMOKE_CONFIGS, "size": "test", "n_cmps": 4},
+        "off_s": round(min(off_s), 3),
+        "on_s": round(min(on_s), 3),
+        "off_over_on": round(min(off_s) / min(on_s), 4),
+        "on_over_off": round(min(on_s) / min(off_s), 4),
+        "exec_hist_on": last_tel.metrics.histograms[
+            "unit.exec_s"].snapshot(),
+        "cycles_bit_identical_on_off": True,
+    }
+
+
+def test_telemetry_overhead(once):
+    data = once(_measure_telemetry_overhead)
+    if BASELINE_PATH.exists():           # fold into the shared baseline
+        merged = json.loads(BASELINE_PATH.read_text())
+        merged["telemetry"] = data
+        BASELINE_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+    publish("telemetry_overhead", render_table(
+        ["telemetry", "wall s", "vs on"],
+        [["off (default)", f"{data['off_s']:.2f}",
+          f"{data['off_over_on']:.3f}"],
+         ["on (event log + metrics)", f"{data['on_s']:.2f}", "1.000"]],
+        "harness-telemetry cost, 8-run static sweep (test size, 4 CMPs)"))
+    # Zero-cost-off, NullSink discipline: the disabled path (the
+    # default everywhere) may not cost more than 2% over the recorded
+    # one -- if it does, the no-op hooks are not actually no-ops.
+    assert data["off_over_on"] <= 1.02, data

@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
     python -m repro bench cg mg --size test --cmps 4
     python -m repro profile run prog.c --mode slipstream --top 10
     python -m repro chaos --seeds 2 -j 2 --report chaos.json
+    python -m repro status /tmp/sweep     # live fleet health of a spool
 
 This is the analogue of driving the paper's toolchain: one compiled
 image, execution mode and slipstream policy chosen at run time.
@@ -18,6 +19,7 @@ image, execution mode and slipstream policy chosen at run time.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -53,6 +55,24 @@ def _pipeline_args(p: argparse.ArgumentParser) -> None:
                    help="dispatch units through a shared spool "
                         "directory; attach extra workers with "
                         "'repro worker DIR' (overrides --jobs)")
+    p.add_argument("--telemetry", metavar="DIR", default=None,
+                   help="record the wall-clock telemetry event log, "
+                        "metrics and heartbeats under DIR (a spool "
+                        "sweep records under SPOOL/telemetry "
+                        "automatically)")
+    p.add_argument("--harness-trace", metavar="OUT.json", default=None,
+                   help="export the sweep's wall-clock timeline as "
+                        "Chrome trace JSON (one track per worker; "
+                        "view in Perfetto, check with "
+                        "'python -m repro.obs.trace')")
+
+
+def _verbosity_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more console detail (-v per-unit progress, "
+                        "-vv debug)")
+    p.add_argument("--quiet", action="store_true",
+                   help="errors only on the console")
 
 
 def _chaos_args(p: argparse.ArgumentParser) -> None:
@@ -144,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _machine_args(ben)
     _chaos_args(ben)
     _pipeline_args(ben)
+    _verbosity_args(ben)
 
     wrk = sub.add_parser(
         "worker",
@@ -160,6 +181,19 @@ def _build_parser() -> argparse.ArgumentParser:
     wrk.add_argument("--wait", action="store_true",
                      help="keep polling for new units instead of "
                           "exiting when the spool is drained")
+    _verbosity_args(wrk)
+
+    sta = sub.add_parser(
+        "status",
+        help="render the live fleet state of a spool sweep")
+    sta.add_argument("dir", help="spool directory of the sweep "
+                                 "(the --spool DIR)")
+    sta.add_argument("--stall", type=float, default=30.0, metavar="S",
+                     help="treat a claim or worker silent for more "
+                          "than S seconds as stalled (default 30)")
+    sta.add_argument("--json", action="store_true",
+                     help="emit the machine-readable snapshot instead "
+                          "of the report")
 
     cha = sub.add_parser(
         "chaos",
@@ -184,13 +218,54 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the full machine-readable report")
     _machine_args(cha)
     _pipeline_args(cha)
+    _verbosity_args(cha)
     return ap
+
+
+def _setup_logging(args, default: int = logging.WARNING) -> None:
+    """Map --quiet/-v onto the ``repro`` logger tree.
+
+    The worker verb defaults to per-unit INFO lines (its console
+    output *is* the product); the sweep verbs default to warnings
+    (retries, degradation, reaped leases) only.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif getattr(args, "verbose", 0) >= 2:
+        level = logging.DEBUG
+    elif getattr(args, "verbose", 0) == 1:
+        level = logging.INFO
+    else:
+        level = default
+    logging.basicConfig(stream=sys.stderr, format="%(message)s")
+    logging.getLogger("repro").setLevel(level)
+    if args.cmd == "worker":
+        # run_worker mirrors this logger to the CLI's stdout; leave it
+        # chatty unless the user explicitly quieted it.
+        logging.getLogger("repro.worker").setLevel(
+            level if (getattr(args, "quiet", False)
+                      or getattr(args, "verbose", 0)) else logging.INFO)
+
+
+def _telemetry_from_args(args):
+    """The telemetry session a sweep verb asked for: an explicit
+    --telemetry DIR, the spool's shared area (spool sweeps are always
+    recorded -- attached workers already write there), or an in-memory
+    session just big enough to feed --harness-trace."""
+    from .harness import Telemetry, telemetry_area
+    if getattr(args, "telemetry", None):
+        return Telemetry(root=args.telemetry)
+    if args.spool:
+        return Telemetry(root=telemetry_area(args.spool))
+    if getattr(args, "harness_trace", None):
+        return Telemetry()
+    return None
 
 
 def _pipeline_from_args(args):
     """Build the execution pipeline a sweep verb asked for: transport
     from --spool/--jobs, checkpoint journal from --resume, memo store
-    from --memo."""
+    from --memo, telemetry from --telemetry/--spool/--harness-trace."""
     from .harness import (CheckpointJournal, DirQueueTransport,
                           ExecutionPipeline, MemoStore, PoolTransport,
                           SerialTransport)
@@ -203,7 +278,28 @@ def _pipeline_from_args(args):
     return ExecutionPipeline(
         transport=transport,
         journal=CheckpointJournal(args.resume) if args.resume else None,
-        memo=MemoStore() if args.memo else None)
+        memo=MemoStore() if args.memo else None,
+        telemetry=_telemetry_from_args(args))
+
+
+def _finish_telemetry(args, context, out) -> None:
+    """End-of-sweep telemetry wrap-up: final heartbeat + log close,
+    then the --harness-trace export (from the shared on-disk area when
+    one exists -- it includes attached workers' records -- else from
+    the driver's in-memory session)."""
+    tel = context.telemetry
+    if not tel.enabled:
+        return
+    tel.close()
+    path = getattr(args, "harness_trace", None)
+    if not path:
+        return
+    from .obs import harness_trace_events, read_events, write_trace
+    records = read_events(tel.dir) if tel.dir is not None else tel.records
+    events = harness_trace_events(records)
+    write_trace(path, events)
+    print(f"harness trace written to {path} ({len(events)} events)",
+          file=out)
 
 
 def _env_from_args(args) -> RuntimeEnv:
@@ -341,6 +437,7 @@ def _cmd_check(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from .npb import REGISTRY
+    _setup_logging(args)
     names = args.names or sorted(REGISTRY)
     bad = [n for n in names if n not in REGISTRY]
     if bad:
@@ -400,6 +497,7 @@ def _cmd_bench(args, out) -> int:
               file=out)
         print(f"collapsed stacks written to {args.profile} "
               f"({len(stacks)} lines, {n_runs} runs)", file=out)
+    _finish_telemetry(args, context, out)
     return _report_degraded(context)
 
 
@@ -417,15 +515,30 @@ def _report_degraded(context) -> int:
 
 def _cmd_worker(args, out) -> int:
     from .harness import run_worker
+    _setup_logging(args)
     run_worker(args.dir, poll_s=args.poll, lease_s=args.lease,
                max_units=args.max_units, drain=not args.wait, out=out)
     return 0
+
+
+def _cmd_status(args, out) -> int:
+    """Render fleet state from a spool's on-disk traces; exit 1 when
+    the fleet is stalled so scripts/watchdogs can alarm on it."""
+    from .harness import collect_status, render_status
+    status = collect_status(args.dir, stall_s=args.stall)
+    if args.json:
+        import json
+        print(json.dumps(status.to_json(), indent=2), file=out)
+    else:
+        print(render_status(status), file=out)
+    return 1 if status.stalled else 0
 
 
 def _cmd_chaos(args, out) -> int:
     from .harness.chaos import (CHAOS_BENCHMARKS, DEFAULT_TIMEOUT_CYCLES,
                                 chaos_specs, render_chaos, run_chaos)
     from .npb import REGISTRY
+    _setup_logging(args)
     names = tuple(args.names) or CHAOS_BENCHMARKS
     bad = [n for n in names if n not in REGISTRY]
     if bad:
@@ -455,6 +568,7 @@ def _cmd_chaos(args, out) -> int:
         with open(args.report, "w") as fh:
             json.dump(report.to_json(), fh, indent=2)
         print(f"report written to {args.report}", file=out)
+    _finish_telemetry(args, context, out)
     if not report.ok:
         failed = [o for o in report.outcomes if not o.ok]
         print(f"error: {len(failed)} of {len(report.outcomes)} scenarios "
@@ -482,6 +596,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.cmd == "worker":
             return _cmd_worker(args, out)
+        if args.cmd == "status":
+            return _cmd_status(args, out)
         if args.cmd == "chaos":
             return _cmd_chaos(args, out)
     except CompileError as e:

@@ -17,6 +17,8 @@ from .transport import (DirQueueTransport, PoolTransport, SerialTransport,
                         Transport, run_worker)
 from .checkpoint import CheckpointJournal, MemoStore, default_memo_dir
 from .pipeline import ExecutionPipeline
+from ..obs.telemetry import (NULL_TELEMETRY, Telemetry, collect_status,
+                             render_status, telemetry_area)
 from .exec import (ExecutionContext, ProcessPoolContext, SerialContext,
                    make_context)
 from .chaos import (CHAOS_BENCHMARKS, ChaosOutcome, ChaosReport,
@@ -36,6 +38,8 @@ __all__ = [
     "Transport", "SerialTransport", "PoolTransport", "DirQueueTransport",
     "run_worker", "CheckpointJournal", "MemoStore", "default_memo_dir",
     "ExecutionPipeline",
+    "NULL_TELEMETRY", "Telemetry", "collect_status", "render_status",
+    "telemetry_area",
     "ExecutionContext", "ProcessPoolContext", "SerialContext",
     "make_context",
     "CHAOS_BENCHMARKS", "ChaosOutcome", "ChaosReport", "chaos_specs",

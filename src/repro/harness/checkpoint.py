@@ -37,10 +37,12 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from ..npb.cache import cache_root
+from ..obs.telemetry import NULL_TELEMETRY
 from .runner import BenchRun
 
 __all__ = ["ResultStore", "CheckpointJournal", "MemoStore",
@@ -59,14 +61,23 @@ class ResultStore:
 
     suffix = ".run"
 
+    #: Prefix of the wall-clock histograms this store records
+    #: (``<prefix>.lookup_s`` / ``<prefix>.store_s``); subclasses
+    #: override so journal and memo latencies stay distinguishable.
+    metric_prefix = "store"
+
     def __init__(self, root: Path):
         self.root = Path(root)
+        #: Telemetry session lookups/publishes are timed through (the
+        #: pipeline attaches its own; default is the null session).
+        self.telemetry = NULL_TELEMETRY
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}{self.suffix}"
 
     def get(self, key: str) -> Optional[BenchRun]:
         """The stored payload for ``key``, or None (miss)."""
+        t0 = time.perf_counter()
         try:
             with open(self._path(key), "rb") as fh:
                 payload = pickle.load(fh)
@@ -74,11 +85,15 @@ class ResultStore:
         # bytes; a broken store file must never be worse than a miss.
         except Exception:
             return None
+        finally:
+            self.telemetry.observe(f"{self.metric_prefix}.lookup_s",
+                                   time.perf_counter() - t0)
         return payload if isinstance(payload, BenchRun) else None
 
     def put(self, key: str, run: BenchRun) -> bool:
         """Atomically publish ``run`` under ``key``; False if the
         store is unwritable (the sweep proceeds without durability)."""
+        t0 = time.perf_counter()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -88,6 +103,9 @@ class ResultStore:
             return True
         except OSError:
             return False
+        finally:
+            self.telemetry.observe(f"{self.metric_prefix}.store_s",
+                                   time.perf_counter() - t0)
 
     def keys(self) -> List[str]:
         """Keys currently published (sorted, for determinism)."""
@@ -111,6 +129,8 @@ class CheckpointJournal(ResultStore):
     rest.  Keys not in the plan are ignored -- a journal directory may
     be reused across differently-shaped sweeps without harm.
     """
+
+    metric_prefix = "journal"
 
     def __init__(self, root):
         super().__init__(Path(root))
@@ -140,6 +160,8 @@ def default_memo_dir() -> Path:
 
 class MemoStore(ResultStore):
     """Cross-sweep run-result memo store (see module docstring)."""
+
+    metric_prefix = "memo"
 
     #: Captured-failure kinds that are pure functions of the unit key
     #: and therefore safe to serve from the store.

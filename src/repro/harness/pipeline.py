@@ -33,10 +33,12 @@ the CLI sweep summary line.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs.aggregate import Counter
 from ..obs.probe import Probe
+from ..obs.telemetry import NULL_TELEMETRY
 from .checkpoint import CheckpointJournal, MemoStore
 from .jobs import RunSpec, SweepPlan
 from .runner import BenchRun
@@ -59,7 +61,8 @@ class ExecutionPipeline:
 
     def __init__(self, transport: Optional[Transport] = None,
                  journal: Optional[CheckpointJournal] = None,
-                 memo: Optional[MemoStore] = None):
+                 memo: Optional[MemoStore] = None,
+                 telemetry=None):
         self.transport = transport or SerialTransport()
         self.journal = journal
         self.memo = memo
@@ -67,6 +70,16 @@ class ExecutionPipeline:
         #: Effectiveness counters (memo.hit/memo.miss/unit.resumed/
         #: unit.executed/unit.deduped), recorded via the Probe API.
         self.probe = Probe("pipeline", counters=self.counters)
+        #: Wall-clock telemetry session (event log, metrics,
+        #: heartbeats); default is the zero-cost null session.  The
+        #: same session is attached to every stage so one record
+        #: stream covers the whole sweep.
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.transport.telemetry = self.telemetry
+        if self.journal is not None:
+            self.journal.telemetry = self.telemetry
+        if self.memo is not None:
+            self.memo.telemetry = self.telemetry
 
     # -- execution -----------------------------------------------------------
 
@@ -83,31 +96,56 @@ class ExecutionPipeline:
         """Run one sharded sweep through resume -> memo -> transport,
         journaling/memoizing as results land, and merge."""
         results: Dict[str, BenchRun] = {}
+        tel = self.telemetry
+        t_sweep = time.perf_counter()
         units = plan.distinct()
+        tel.emit("sweep.started", n_units=len(plan.units),
+                 n_distinct=len(units),
+                 transport=self.transport.describe())
         self.probe.count("unit.planned", len(plan.units))
+        for unit in units:
+            tel.emit("unit.planned", unit=unit.key, spec=unit.spec,
+                     index=unit.index)
         if len(units) < len(plan.units):
-            self.probe.count("unit.deduped", len(plan.units) - len(units))
+            n_dup = len(plan.units) - len(units)
+            self.probe.count("unit.deduped", n_dup)
+            distinct_keys = {u.key for u in units}
+            seen = set()
+            for u in plan.units:
+                if u.key in seen or u.key not in distinct_keys:
+                    tel.emit("unit.deduped", unit=u.key, index=u.index)
+                seen.add(u.key)
 
         if self.journal is not None:
+            t0 = self._stage_start("resume")
             resumed = self.journal.load([u.key for u in units])
             if resumed:
                 self.probe.count("unit.resumed", len(resumed))
+                for key in resumed:
+                    tel.emit("unit.resumed", unit=key)
             results.update(resumed)
+            self._stage_finish("resume", t0, n_resumed=len(resumed))
 
         if self.memo is not None:
+            t0 = self._stage_start("memo")
+            hits = 0
             for unit in units:
                 if unit.key in results:
                     continue
                 hit = self.memo.get(unit.key)
                 if hit is not None:
+                    hits += 1
                     results[unit.key] = hit
                     self.probe.count("memo.hit")
+                    tel.emit("memo.hit", unit=unit.key, spec=unit.spec)
                     # A memo hit is durable progress this sweep can
                     # resume from too.
                     if self.journal is not None:
                         self.journal.record(unit.key, hit)
                 else:
                     self.probe.count("memo.miss")
+                    tel.emit("memo.miss", unit=unit.key, spec=unit.spec)
+            self._stage_finish("memo", t0, n_hits=hits)
 
         todo = [u for u in units if u.key not in results]
 
@@ -120,16 +158,43 @@ class ExecutionPipeline:
                 self.memo.put(unit.key, run)
 
         if todo:
+            t0 = self._stage_start("dispatch")
             self.transport.run(todo, on_result)
-        return plan.merge(results)
+            self._stage_finish("dispatch", t0, n_units=len(todo))
+        merged = plan.merge(results)
+        tel.emit("sweep.finished",
+                 wall_s=round(time.perf_counter() - t_sweep, 6),
+                 n_executed=int(self.counters.get("unit.executed")))
+        tel.heartbeat(state="idle", done=len(units), force=True)
+        return merged
+
+    def _stage_start(self, stage: str) -> float:
+        self.telemetry.emit("stage.started", stage=stage)
+        return time.perf_counter()
+
+    def _stage_finish(self, stage: str, t0: float, **fields) -> None:
+        dt = time.perf_counter() - t0
+        self.telemetry.observe(f"stage.{stage}_s", dt)
+        self.telemetry.emit("stage.finished", stage=stage,
+                            wall_s=round(dt, 6), **fields)
 
     # -- observability -------------------------------------------------------
 
     @property
-    def rt_stats(self) -> Dict[str, Dict[str, int]]:
-        """Pipeline counters in ``RunResult.rt_stats`` shape."""
+    def rt_stats(self) -> Dict[str, Dict[str, float]]:
+        """Pipeline counters in ``RunResult.rt_stats`` shape.
+
+        With a live telemetry session a second ``harness`` track holds
+        the flattened wall-clock metrics (queue wait / execution-time
+        histograms, retry counts, stage timings)."""
         counts = self.counters.as_dict()
-        return {"pipeline": counts} if counts else {}
+        out: Dict[str, Dict[str, float]] = (
+            {"pipeline": counts} if counts else {})
+        if self.telemetry.enabled:
+            flat = self.telemetry.metrics.flat()
+            if flat:
+                out["harness"] = flat
+        return out
 
     def summary(self) -> str:
         """One-line sweep summary (the CLI prints this)."""
@@ -144,6 +209,12 @@ class ExecutionPipeline:
             parts.append(f"memo {c('memo.hit')} hit(s) / "
                          f"{c('memo.miss')} miss(es)")
         parts.append(f"{c('unit.executed')} executed")
+        if self.telemetry.enabled:
+            hist = self.telemetry.metrics.histograms.get("unit.exec_s")
+            if hist is not None and len(hist):
+                parts.append(f"exec p50 {hist.percentile(50):.2f}s / "
+                             f"p90 {hist.percentile(90):.2f}s / "
+                             f"p99 {hist.percentile(99):.2f}s")
         return "pipeline: " + ", ".join(parts)
 
     # -- transport health (CLI exit-code plumbing) ---------------------------

@@ -44,6 +44,8 @@ import time
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry, telemetry_area
+from ..runtime import SimDeadlockError
 from .jobs import WorkUnit, execute_spec, unit_key
 
 __all__ = ["Transport", "SerialTransport", "PoolTransport",
@@ -53,6 +55,58 @@ _LOG = logging.getLogger("repro.harness.transport")
 
 #: Driver callback: one finished unit, invoked in the driver process.
 OnResult = Callable[[WorkUnit, object], None]
+
+
+def _telemetered(tel, key: str, spec, fn):
+    """Execute one unit under telemetry: ``unit.started`` -> run ``fn``
+    -> terminal (``unit.finished``/``unit.failed``), recording the
+    execution wall time and surfacing watchdog deadlocks as typed
+    ``watchdog.deadlock`` events.  Captured failures (``BenchRun.error``
+    set) terminate as ``unit.failed`` too -- the event log explains
+    every outcome, not only raised ones.  Exceptions propagate after
+    the terminal event is written."""
+    tel.emit("unit.started", unit=key, spec=spec)
+    t0 = time.perf_counter()
+    try:
+        run = fn()
+    except BaseException as e:
+        dt = time.perf_counter() - t0
+        tel.observe("unit.exec_s", dt)
+        if isinstance(e, SimDeadlockError):
+            tel.emit("watchdog.deadlock", unit=key, spec=spec,
+                     summary=e.summary)
+        tel.emit("unit.failed", unit=key, spec=spec,
+                 wall_s=round(dt, 6),
+                 error=f"{type(e).__name__}: {e}"[:300],
+                 error_kind=("hang" if isinstance(e, SimDeadlockError)
+                             else "crash"))
+        raise
+    dt = time.perf_counter() - t0
+    tel.observe("unit.exec_s", dt)
+    _emit_terminal(tel, key, spec, run, dt)
+    return run
+
+
+def _emit_terminal(tel, key: str, spec, run, wall_s) -> None:
+    """The terminal event for a finished BenchRun (shared by the
+    inline execution path and pool/spool result arrival, where the
+    wall time is the worker-recorded ``run.timing['total_s']``)."""
+    error = getattr(run, "error", None)
+    fields = {}
+    if wall_s is not None:
+        fields["wall_s"] = round(wall_s, 6)
+    if error is not None:
+        kind = getattr(run, "error_kind", None)
+        if kind == "hang":
+            tel.emit("watchdog.deadlock", unit=key, spec=spec,
+                     summary=str(error)[:300])
+        tel.emit("unit.failed", unit=key, spec=spec,
+                 error=str(error)[:300], error_kind=kind, **fields)
+    else:
+        cycles = getattr(run, "cycles", None)
+        if isinstance(cycles, (int, float)) and cycles == cycles:
+            fields["cycles"] = cycles
+        tel.emit("unit.finished", unit=key, spec=spec, **fields)
 
 
 class Transport:
@@ -72,6 +126,9 @@ class Transport:
         self.events: List[str] = []
         #: True when any unit of the last run() fell back to serial.
         self.degraded = False
+        #: Telemetry session the driver records through (the pipeline
+        #: attaches a live one; default is the zero-cost null session).
+        self.telemetry = NULL_TELEMETRY
 
     def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
         raise NotImplementedError
@@ -93,8 +150,15 @@ class SerialTransport(Transport):
     def run(self, units: Sequence[WorkUnit], on_result: OnResult) -> None:
         self.events = []
         self.degraded = False
+        tel = self.telemetry
+        t0 = time.perf_counter()
         for unit in units:
-            on_result(unit, execute_spec(unit.spec))
+            # Queue wait for a serial transport is time spent behind
+            # earlier units of the same dispatch.
+            tel.observe("unit.queue_wait_s", time.perf_counter() - t0)
+            run = _telemetered(tel, unit.key, unit.spec,
+                               lambda spec=unit.spec: execute_spec(spec))
+            on_result(unit, run)
 
 
 # -- local process pool ------------------------------------------------------
@@ -145,9 +209,15 @@ class PoolTransport(Transport):
         units = list(units)
         self.events = []
         self.degraded = False
+        tel = self.telemetry
         if min(self.jobs, len(units)) <= 1:
+            t0 = time.perf_counter()
             for unit in units:
-                on_result(unit, execute_spec(unit.spec))
+                tel.observe("unit.queue_wait_s", time.perf_counter() - t0)
+                run = _telemetered(tel, unit.key, unit.spec,
+                                   lambda spec=unit.spec:
+                                   execute_spec(spec))
+                on_result(unit, run)
             return
         done = [False] * len(units)
         pending = list(range(len(units)))
@@ -158,10 +228,16 @@ class PoolTransport(Transport):
                                       on_result)
         if pending:
             self.degraded = True
+            tel.emit("pool.degraded", n_pending=len(pending),
+                     n_units=len(units))
+            tel.count("pool.degraded")
             self._note(f"degrading to serial execution for "
                        f"{len(pending)} of {len(units)} unit(s)")
             for i in pending:
-                on_result(units[i], execute_spec(units[i].spec))
+                run = _telemetered(tel, units[i].key, units[i].spec,
+                                   lambda spec=units[i].spec:
+                                   execute_spec(spec))
+                on_result(units[i], run)
 
     def _pool_pass(self, units: List[WorkUnit], done: List[bool],
                    pending: List[int], attempt: int,
@@ -172,7 +248,9 @@ class PoolTransport(Transport):
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
         ctx = mp.get_context(self.start_method)
+        tel = self.telemetry
         broken = False
+        submitted = time.perf_counter()
         try:
             with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(pending)),
@@ -180,6 +258,16 @@ class PoolTransport(Transport):
                 futures = {
                     pool.submit(_execute_indexed, (i, units[i].spec)): i
                     for i in pending}
+                for i in pending:
+                    # Pool workers are uninstrumented; claimed-at-
+                    # submit plus the terminal at arrival brackets each
+                    # unit's pool residence on the driver's track.
+                    tel.emit("unit.claimed", unit=units[i].key,
+                             spec=units[i].spec, attempt=attempt + 1)
+                    if attempt > 0:
+                        tel.emit("unit.retried", unit=units[i].key,
+                                 spec=units[i].spec, attempt=attempt + 1)
+                        tel.count("unit.retries")
                 for fut in as_completed(futures):
                     try:
                         index, run = fut.result()
@@ -187,6 +275,15 @@ class PoolTransport(Transport):
                         broken = True
                         continue
                     done[index] = True
+                    timing = getattr(run, "timing", None) or {}
+                    wall = timing.get("total_s")
+                    if wall is not None:
+                        tel.observe("unit.exec_s", wall)
+                    tel.observe("unit.queue_wait_s",
+                                max(0.0, time.perf_counter() - submitted
+                                    - (wall or 0.0)))
+                    _emit_terminal(tel, units[index].key,
+                                   units[index].spec, run, wall)
                     on_result(units[index], run)
         except BrokenProcessPool:
             broken = True
@@ -380,10 +477,14 @@ class DirQueueTransport(Transport):
         self.events = []
         self.degraded = False
         self.spool.ensure()
+        tel = self.telemetry
         pending = {u.key: u for u in units}
+        n_total = len(pending)
         for u in units:
             self.spool.enqueue(u.key, u.spec)
         while pending:
+            tel.heartbeat(state="driving",
+                          done=n_total - len(pending))
             # Harvest everything published since the last look (our own
             # inline work and any attached worker's).
             harvested = False
@@ -395,6 +496,7 @@ class DirQueueTransport(Transport):
                 unit = pending.pop(key)
                 if isinstance(payload, _UnitFailure):
                     raise payload.unwrap()
+                tel.count("unit.harvested")
                 on_result(unit, payload)
             if not pending or harvested:
                 continue
@@ -404,21 +506,33 @@ class DirQueueTransport(Transport):
             # Everything is leased out: reap the stalled, wait briefly.
             reaped = self.spool.reap_stale(pending, self.lease_s)
             for key in reaped:
+                tel.emit("lease.reaped", unit=key,
+                         lease_s=self.lease_s)
+                tel.count("lease.reaped")
                 self._note(f"reaped stalled lease on unit "
                            f"{key[:12]} (> {self.lease_s:g}s)")
             if not reaped:
                 time.sleep(self.poll_s)
+        tel.heartbeat(state="idle", done=n_total, force=True)
 
     def _work_one(self, pending) -> bool:
         """Claim + execute + publish one unit inline; False when every
         pending unit is currently leased by someone else."""
+        tel = self.telemetry
         for key, unit in pending.items():
             if self.spool.claim_age(key) is not None:
                 continue
             if not self.spool.try_claim(key):
                 continue
+            tel.emit("unit.claimed", unit=key, spec=unit.spec)
             try:
-                payload = execute_spec(unit.spec)
+                wait = time.time() - self.spool.unit_path(key).stat().st_mtime
+                tel.observe("unit.queue_wait_s", max(0.0, wait))
+            except OSError:
+                pass
+            try:
+                payload = _telemetered(tel, key, unit.spec,
+                                       lambda: execute_spec(unit.spec))
             except Exception as e:          # noqa: BLE001 - republished
                 # Publish so attached workers stop re-trying the unit,
                 # then surface it exactly like the other transports.
@@ -429,6 +543,9 @@ class DirQueueTransport(Transport):
             self.spool.release(key)
             return True
         return False
+
+
+_WORKER_LOG = logging.getLogger("repro.worker")
 
 
 def run_worker(root, poll_s: float = 0.1, lease_s: float = 60.0,
@@ -447,58 +564,112 @@ def run_worker(root, poll_s: float = 0.1, lease_s: float = 60.0,
     Failing specs are published as failure records for the driver to
     re-raise; the worker itself keeps going.  Returns the number of
     units this worker executed.
+
+    Reporting is structured: per-unit console lines go through the
+    ``repro.worker`` logger (mirrored to ``out`` when given, for the
+    CLI and tests), and the full lifecycle -- attach, claims, skips,
+    per-unit start/terminal, heartbeats, detach -- is recorded in the
+    spool's shared ``telemetry/`` area, where ``repro status DIR``
+    and the event-log validator read it.
     """
-    import sys
-    out = out or sys.stdout
+    log = _WORKER_LOG
+    handler = None
+    old_propagate = log.propagate
+    if out is not None:
+        # Mirror console lines to the caller's stream (the CLI's
+        # stdout) without double-printing through root handlers.
+        handler = logging.StreamHandler(out)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        log.addHandler(handler)
+        log.propagate = False
+    if log.level == logging.NOTSET and log.getEffectiveLevel() > logging.INFO:
+        # Default to per-unit lines unless verbosity was configured
+        # explicitly (repro worker --quiet sets this logger WARNING).
+        log.setLevel(logging.INFO)
+
     spool = _Spool(root)
     spool.ensure()
+    tel = Telemetry(root=telemetry_area(root), role="worker")
+    tel.emit("worker.started", spool=str(spool.root))
+    tel.heartbeat(state="idle", done=0, force=True)
+    t_attach = time.perf_counter()
     executed = 0
     skipped = set()
-    while max_units is None or executed < max_units:
-        pending = [k for k in spool.pending_keys() if k not in skipped]
-        if not pending:
-            if drain:
-                break
-            time.sleep(poll_s)
-            continue
-        progressed = False
-        for key in pending:
-            if max_units is not None and executed >= max_units:
-                break
-            if spool.claim_age(key) is not None:
-                continue
-            if not spool.try_claim(key):
-                continue
-            spec = spool.load_spec(key)
-            if spec is None or unit_key(spec) != key:
-                spool.release(key)
-                skipped.add(key)
-                print(f"worker: skipping unit {key[:12]} "
-                      f"(stale or foreign key -- code/tier mismatch?)",
-                      file=out)
-                continue
-            t0 = time.perf_counter()
-            try:
-                payload = _run_spec(spec)
-            except Exception as e:          # noqa: BLE001 - republished
-                payload = _UnitFailure(e)
-            spool.publish(key, payload)
-            spool.release(key)
-            executed += 1
-            progressed = True
-            status = ("FAILED" if isinstance(payload, _UnitFailure)
-                      else f"{payload.cycles:,.0f} cycles")
-            print(f"worker: {spec} -> {status} "
-                  f"[{time.perf_counter() - t0:.2f}s] ({key[:12]})",
-                  file=out)
-        if not progressed:
-            # Everything pending is leased elsewhere: reap stalled
-            # claims, then wait for publishes or lease expiry.
-            if not spool.reap_stale(pending, lease_s):
+    try:
+        while max_units is None or executed < max_units:
+            pending = [k for k in spool.pending_keys() if k not in skipped]
+            if not pending:
+                if drain:
+                    break
+                tel.heartbeat(state="idle", done=executed)
                 time.sleep(poll_s)
-    if skipped:
-        print(f"worker: done, {executed} unit(s) executed, "
-              f"{len(skipped)} skipped (key mismatch)", file=out)
-    else:
-        print(f"worker: done, {executed} unit(s) executed", file=out)
+                continue
+            progressed = False
+            for key in pending:
+                if max_units is not None and executed >= max_units:
+                    break
+                if spool.claim_age(key) is not None:
+                    continue
+                if not spool.try_claim(key):
+                    continue
+                spec = spool.load_spec(key)
+                if spec is None or unit_key(spec) != key:
+                    spool.release(key)
+                    skipped.add(key)
+                    tel.emit("unit.skipped", unit=key,
+                             reason="stale or foreign key")
+                    log.warning("worker: skipping unit %s (stale or "
+                                "foreign key -- code/tier mismatch?)",
+                                key[:12])
+                    continue
+                tel.emit("unit.claimed", unit=key, spec=spec)
+                try:
+                    wait = (time.time()
+                            - spool.unit_path(key).stat().st_mtime)
+                    tel.observe("unit.queue_wait_s", max(0.0, wait))
+                except OSError:
+                    pass
+                tel.heartbeat(state="running", unit=key, done=executed,
+                              force=True)
+                t0 = time.perf_counter()
+                try:
+                    payload = _telemetered(tel, key, spec,
+                                           lambda: _run_spec(spec))
+                except Exception as e:      # noqa: BLE001 - republished
+                    payload = _UnitFailure(e)
+                spool.publish(key, payload)
+                spool.release(key)
+                executed += 1
+                progressed = True
+                tel.heartbeat(state="idle", done=executed)
+                status = ("FAILED" if isinstance(payload, _UnitFailure)
+                          else f"{payload.cycles:,.0f} cycles")
+                log.info("worker: %s -> %s [%.2fs] (%s)", spec, status,
+                         time.perf_counter() - t0, key[:12])
+            if not progressed:
+                # Everything pending is leased elsewhere: reap stalled
+                # claims, then wait for publishes or lease expiry.
+                reaped = spool.reap_stale(pending, lease_s)
+                for key in reaped:
+                    tel.emit("lease.reaped", unit=key, lease_s=lease_s)
+                    log.warning("worker: reaped stalled lease on unit "
+                                "%s (> %gs)", key[:12], lease_s)
+                if not reaped:
+                    tel.heartbeat(state="waiting", done=executed)
+                    time.sleep(poll_s)
+        attached_s = time.perf_counter() - t_attach
+        if attached_s > 0:
+            tel.gauge("worker.units_per_s", executed / attached_s)
+        tel.emit("worker.stopped", executed=executed,
+                 skipped=len(skipped), attached_s=round(attached_s, 6))
+        if skipped:
+            log.info("worker: done, %d unit(s) executed, %d skipped "
+                     "(key mismatch)", executed, len(skipped))
+        else:
+            log.info("worker: done, %d unit(s) executed", executed)
+    finally:
+        tel.close()
+        if handler is not None:
+            log.removeHandler(handler)
+            log.propagate = old_propagate
     return executed

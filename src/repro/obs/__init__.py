@@ -33,6 +33,12 @@ Where the facts go is decided once per run by the :class:`Sink`:
 Invariant: probes only ever *record*; no sink interacts with the event
 engine, so simulated cycle counts are bit-identical whichever sink is
 installed (pinned by ``tests/test_obs_determinism.py``).
+
+The :mod:`repro.obs.telemetry` subpackage applies the same discipline
+to the *harness* around runs -- wall-clock event logs, metrics,
+heartbeats and fleet status for the execution pipeline -- with
+:data:`~repro.obs.telemetry.NULL_TELEMETRY` playing NullSink's
+zero-cost-off role.
 """
 
 from .aggregate import (CATEGORIES, ClassStats, Counter, FETCHERS, KINDS,
@@ -42,6 +48,9 @@ from .profile import (MEM_LEVELS, ProfileSink, TrackProfile,
                       collapsed_stacks, line_totals, profile_total,
                       write_collapsed)
 from .sink import AggregateSink, NullSink, Sink, TeeSink, make_sink
+from .telemetry import (NULL_TELEMETRY, MetricsRegistry, NullTelemetry,
+                        Telemetry, collect_status, harness_trace_events,
+                        read_events, render_status, validate_events)
 from .trace import (TraceSink, merge_traces, trace_json, validate_trace,
                     write_trace)
 
@@ -54,4 +63,7 @@ __all__ = [
     "write_trace",
     "MEM_LEVELS", "ProfileSink", "TrackProfile", "collapsed_stacks",
     "line_totals", "profile_total", "write_collapsed",
+    "NULL_TELEMETRY", "MetricsRegistry", "NullTelemetry", "Telemetry",
+    "collect_status", "harness_trace_events", "read_events",
+    "render_status", "validate_events",
 ]

@@ -1,0 +1,123 @@
+"""Wall-clock metrics registry: counters, gauges, histograms.
+
+The cycle-exact observability layer (:mod:`repro.obs.aggregate`)
+answers "where did the *simulated* time go"; this registry answers the
+harness-side question "where did the *wall clock* go" -- queue wait,
+per-unit execution time, memo lookup latency, retry counts.  It is
+deliberately tiny: harness sweeps observe tens to a few thousand
+samples, so histograms keep the raw values and report exact
+nearest-rank percentiles instead of bucket estimates.
+
+Nothing here touches the simulation: metrics are recorded by the
+driver and spool workers between units, never inside a run, so cycle
+counts are bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+
+class Histogram:
+    """Exact sample-keeping histogram with nearest-rank percentiles."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (0 < p <= 100); 0.0 when empty."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, min(len(ordered), math.ceil(p / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary stats ({"count": 0} when nothing was observed)."""
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        n = len(ordered)
+
+        def pct(p: float) -> float:
+            return ordered[max(1, min(n, math.ceil(p / 100.0 * n))) - 1]
+
+        return {
+            "count": n,
+            "sum": round(sum(ordered), 6),
+            "min": round(ordered[0], 6),
+            "max": round(ordered[-1], 6),
+            "mean": round(sum(ordered) / n, 6),
+            "p50": round(pct(50), 6),
+            "p90": round(pct(90), 6),
+            "p99": round(pct(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one telemetry session.
+
+    ``flat()`` is the ``rt_stats`` folding shape: one flat
+    ``name -> number`` dict (histograms expand to ``name.count`` /
+    ``.mean`` / ``.p50`` / ``.p90`` / ``.p99`` / ``.max``), which is what
+    :attr:`repro.harness.pipeline.ExecutionPipeline.rt_stats` and the
+    BENCH_*.json emitters embed.
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, dict]:
+        """Full structured snapshot (the BENCH_*.json shape)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": {k: round(v, 6)
+                       for k, v in sorted(self.gauges.items())},
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(self.histograms.items())},
+        }
+
+    def flat(self) -> Dict[str, float]:
+        """Flattened ``name -> number`` view (the ``rt_stats`` shape)."""
+        out: Dict[str, float] = {}
+        out.update(sorted(self.counters.items()))
+        for k, v in sorted(self.gauges.items()):
+            out[k] = round(v, 6)
+        for name, h in sorted(self.histograms.items()):
+            snap = h.snapshot()
+            for stat in ("count", "mean", "p50", "p90", "p99", "max"):
+                if stat in snap:
+                    out[f"{name}.{stat}"] = snap[stat]
+        return out

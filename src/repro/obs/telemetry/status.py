@@ -1,0 +1,232 @@
+"""Fleet status: render a live spool sweep from its on-disk traces.
+
+``repro status DIR`` calls :func:`collect_status` on a spool root and
+prints :func:`render_status`.  Everything is derived from files other
+processes already maintain -- no RPC, no cooperation needed from a
+wedged fleet:
+
+* the spool itself (``units/*.spec``, ``claims/*.claim``,
+  ``results/*.run``) gives queued / claimed / done counts and per-claim
+  ages (a claim file's mtime is its lease start);
+* worker **heartbeats** (``telemetry/heartbeats/*.json``, written
+  atomically every second by live sessions) give per-worker last-seen,
+  role, and progress;
+* the **event log** (``telemetry/events-*.jsonl``) gives failure kinds
+  and the mean unit wall time the ETA estimate uses.
+
+The module reads the spool layout directly rather than importing
+:mod:`repro.harness` (harness modules import ``repro.obs``; keeping
+this one-way avoids an import cycle).  A fleet is **stalled** when
+work remains but nothing is moving: a claim has outlived ``stall_s``,
+or there are pending units with no live worker and no fresh claim.
+``repro status`` exits nonzero on a stalled fleet so scripts can alarm
+on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .events import TERMINAL_EVENTS, read_events
+
+__all__ = ["WorkerStatus", "FleetStatus", "collect_status",
+           "render_status"]
+
+#: A claim or heartbeat older than this is considered stuck/dead.
+DEFAULT_STALL_S = 30.0
+
+
+@dataclass
+class WorkerStatus:
+    """One telemetry session's liveness, from its heartbeat file."""
+
+    worker: str
+    role: str = "?"
+    pid: Optional[int] = None
+    state: str = "?"
+    unit: Optional[str] = None
+    done: int = 0
+    age_s: float = 0.0          #: seconds since the last heartbeat
+    alive: bool = False         #: age_s <= stall threshold
+
+
+@dataclass
+class FleetStatus:
+    """Snapshot of a spool sweep (see :func:`collect_status`)."""
+
+    root: str
+    units_total: int = 0
+    units_done: int = 0
+    units_failed: int = 0
+    units_claimed: int = 0
+    units_queued: int = 0       #: pending and unclaimed
+    workers: List[WorkerStatus] = field(default_factory=list)
+    stragglers: List[dict] = field(default_factory=list)
+    eta_s: Optional[float] = None
+    mean_unit_s: Optional[float] = None
+    stalled: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def units_pending(self) -> int:
+        return self.units_claimed + self.units_queued
+
+    def to_json(self) -> dict:
+        return {
+            "root": self.root,
+            "units": {"total": self.units_total, "done": self.units_done,
+                      "failed": self.units_failed,
+                      "claimed": self.units_claimed,
+                      "queued": self.units_queued},
+            "workers": [vars(w) for w in self.workers],
+            "stragglers": self.stragglers,
+            "eta_s": self.eta_s,
+            "mean_unit_s": self.mean_unit_s,
+            "stalled": self.stalled,
+            "notes": self.notes,
+        }
+
+
+def _read_heartbeats(area: Path, stall_s: float) -> List[WorkerStatus]:
+    beats: List[WorkerStatus] = []
+    hb_dir = area / "heartbeats"
+    if not hb_dir.is_dir():
+        return beats
+    now = time.time()
+    for path in sorted(hb_dir.glob("*.json")):
+        try:
+            body = json.loads(path.read_text())
+            age = max(0.0, now - path.stat().st_mtime)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(body, dict):
+            continue
+        state = str(body.get("state", "?"))
+        beats.append(WorkerStatus(
+            worker=str(body.get("worker", path.stem)),
+            role=str(body.get("role", "?")),
+            pid=body.get("pid"),
+            state=state,
+            unit=body.get("unit"),
+            done=int(body.get("done") or 0),
+            age_s=round(age, 3),
+            alive=(state != "stopped" and age <= stall_s),
+        ))
+    return beats
+
+
+def collect_status(spool_root: Union[str, Path],
+                   stall_s: float = DEFAULT_STALL_S) -> FleetStatus:
+    """Assemble a :class:`FleetStatus` for the spool at ``spool_root``.
+
+    Raises :class:`FileNotFoundError` when the directory does not look
+    like a spool (no ``units/`` and no ``telemetry/`` area).
+    """
+    root = Path(spool_root)
+    units_dir = root / "units"
+    area = root / "telemetry"
+    if not units_dir.is_dir() and not area.is_dir():
+        raise FileNotFoundError(
+            f"{root}: not a spool directory (no units/ or telemetry/)")
+
+    status = FleetStatus(root=str(root))
+    now = time.time()
+
+    keys = (sorted(p.name[:-5] for p in units_dir.glob("*.spec"))
+            if units_dir.is_dir() else [])
+    results_dir = root / "results"
+    claims_dir = root / "claims"
+    status.units_total = len(keys)
+    for key in keys:
+        if (results_dir / f"{key}.run").is_file():
+            status.units_done += 1
+            continue
+        claim = claims_dir / f"{key}.claim"
+        try:
+            claim_age = max(0.0, now - claim.stat().st_mtime)
+        except OSError:
+            claim_age = None
+        if claim_age is None:
+            status.units_queued += 1
+        else:
+            status.units_claimed += 1
+            if claim_age > stall_s:
+                status.stragglers.append(
+                    {"unit": key, "claim_age_s": round(claim_age, 3)})
+
+    status.workers = _read_heartbeats(area, stall_s)
+
+    # Event log: failure kinds + the mean wall time ETA extrapolates.
+    wall: List[float] = []
+    failed = set()
+    if area.is_dir():
+        for rec in read_events(area):
+            ev = rec.get("event")
+            if ev in TERMINAL_EVENTS and isinstance(
+                    rec.get("wall_s"), (int, float)):
+                wall.append(float(rec["wall_s"]))
+            if ev == "unit.failed" and rec.get("unit"):
+                failed.add(rec["unit"])
+    status.units_failed = len(failed)
+    if wall:
+        status.mean_unit_s = round(sum(wall) / len(wall), 3)
+
+    live = [w for w in status.workers if w.alive]
+    pending = status.units_pending
+    if pending and status.mean_unit_s is not None:
+        status.eta_s = round(
+            pending * status.mean_unit_s / max(1, len(live)), 3)
+
+    fresh_claims = status.units_claimed - len(status.stragglers)
+    if pending:
+        if status.stragglers:
+            status.stalled = True
+            status.notes.append(
+                f"{len(status.stragglers)} claim(s) older than "
+                f"{stall_s:g}s")
+        if not live and not fresh_claims:
+            status.stalled = True
+            status.notes.append("pending units but no live worker and "
+                                "no fresh claim")
+    return status
+
+
+def render_status(status: FleetStatus) -> str:
+    """Human-readable multi-line fleet report."""
+    lines = [f"spool {status.root}"]
+    done = status.units_done
+    total = status.units_total
+    pct = (100.0 * done / total) if total else 0.0
+    summary = (f"  units: {done}/{total} done ({pct:.0f}%), "
+               f"{status.units_claimed} claimed, "
+               f"{status.units_queued} queued")
+    if status.units_failed:
+        summary += f", {status.units_failed} failed"
+    lines.append(summary)
+    if status.mean_unit_s is not None:
+        lines.append(f"  mean unit wall time: {status.mean_unit_s:.3f}s")
+    if status.eta_s is not None:
+        lines.append(f"  eta: ~{status.eta_s:.1f}s "
+                     f"({status.units_pending} pending)")
+    if status.workers:
+        lines.append("  workers:")
+        for w in status.workers:
+            mark = "+" if w.alive else "-"
+            what = f" unit {w.unit[:12]}" if w.unit else ""
+            lines.append(
+                f"    {mark} {w.worker} [{w.role}] {w.state}{what}, "
+                f"{w.done} done, last seen {w.age_s:.1f}s ago")
+    else:
+        lines.append("  workers: none seen (no heartbeats)")
+    for s in status.stragglers:
+        lines.append(f"  straggler: unit {s['unit'][:12]} claimed "
+                     f"{s['claim_age_s']:.1f}s ago")
+    if status.stalled:
+        lines.append("  STALLED: " + "; ".join(status.notes))
+    elif status.units_pending == 0 and total:
+        lines.append("  complete")
+    return "\n".join(lines)
