@@ -10,10 +10,21 @@ Usage (also via ``python -m repro``)::
     python -m repro bench cg mg --size test --cmps 4
     python -m repro profile run prog.c --mode slipstream --top 10
     python -m repro chaos --seeds 2 -j 2 --report chaos.json
+    python -m repro chaos --harness       # pipeline crash-consistency
     python -m repro status /tmp/sweep     # live fleet health of a spool
 
 This is the analogue of driving the paper's toolchain: one compiled
 image, execution mode and slipstream policy chosen at run time.
+
+Exit codes (scripts and CI key off these)::
+
+    0  success
+    1  failure (compile error, oracle violation, failed chaos matrix)
+    2  bad arguments / missing file / unknown benchmark or class
+    3  sweep completed but the process pool degraded to serial
+    4  watchdog deadlock (SimDeadlockError; see --timeout-cycles)
+    5  sweep completed with quarantined poison units (their rows are
+       loud placeholder failures, not results)
 """
 
 from __future__ import annotations
@@ -216,6 +227,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-run watchdog budget (default 5e6)")
     cha.add_argument("--report", metavar="OUT.json",
                      help="write the full machine-readable report")
+    cha.add_argument("--harness", action="store_true",
+                     help="run the execution-harness hazard matrix "
+                          "(corrupt publishes, disk-full, lease races, "
+                          "worker kills) instead of the simulator fault "
+                          "matrix; every sweep must merge bit-identical "
+                          "to a hazard-free baseline")
+    cha.add_argument("--workdir", metavar="DIR", default=None,
+                     help="(--harness) scenario working directory "
+                          "(default: a fresh temp dir)")
+    cha.add_argument("--transports", metavar="T1,T2", default=None,
+                     help="(--harness) restrict to these transports "
+                          "(serial,pool,spool; default all)")
     _machine_args(cha)
     _pipeline_args(cha)
     _verbosity_args(cha)
@@ -498,16 +521,28 @@ def _cmd_bench(args, out) -> int:
         print(f"collapsed stacks written to {args.profile} "
               f"({len(stacks)} lines, {n_runs} runs)", file=out)
     _finish_telemetry(args, context, out)
-    return _report_degraded(context)
+    return _report_health(context)
 
 
-def _report_degraded(context) -> int:
-    """Surface pool degradation (worker crashes): warn and exit 3 so
-    automation notices, even though every result was still produced."""
-    if not getattr(context, "degraded", False):
+def _report_health(context) -> int:
+    """Surface transport health as distinct exit codes (see the module
+    docstring's table): 5 when the sweep completed with quarantined
+    poison units -- their merged rows are loud placeholder failures,
+    not results -- and 3 for pool degradation (every result produced,
+    -j parallelism lost).  Quarantine wins: lost results outrank lost
+    parallelism."""
+    quarantined = getattr(context, "quarantined", False)
+    degraded = getattr(context, "degraded", False)
+    if not (quarantined or degraded):
         return 0
     for ev in getattr(context, "events", []):
         print(f"warning: {ev}", file=sys.stderr)
+    if quarantined:
+        units = getattr(context, "quarantined_units", [])
+        print(f"warning: sweep completed with {len(units) or 'some'} "
+              f"quarantined poison unit(s); their rows are placeholder "
+              f"failures, not results", file=sys.stderr)
+        return 5
     print("warning: process pool degraded to serial execution; results "
           "are complete but -j parallelism was lost", file=sys.stderr)
     return 3
@@ -539,6 +574,8 @@ def _cmd_chaos(args, out) -> int:
                                 chaos_specs, render_chaos, run_chaos)
     from .npb import REGISTRY
     _setup_logging(args)
+    if args.harness:
+        return _cmd_harness_chaos(args, out)
     names = tuple(args.names) or CHAOS_BENCHMARKS
     bad = [n for n in names if n not in REGISTRY]
     if bad:
@@ -576,7 +613,65 @@ def _cmd_chaos(args, out) -> int:
               f"({', '.join(sorted({o.status for o in failed}))})",
               file=sys.stderr)
         return 1
-    return _report_degraded(context)
+    return _report_health(context)
+
+
+def _cmd_harness_chaos(args, out) -> int:
+    """``repro chaos --harness``: the pipeline crash-consistency matrix
+    (:func:`repro.harness.chaos.run_harness_chaos`).  Exit 1 when any
+    scenario loses or corrupts a result, 5 when the matrix itself
+    quarantined poison units, 0 on a clean pass."""
+    import json
+    import tempfile
+
+    from .harness.chaos import (HARNESS_TRANSPORTS, render_harness_chaos,
+                                run_harness_chaos)
+    from .harness.hazards import HAZARD_CLASSES
+    from .npb import REGISTRY
+    names = tuple(args.names) or ("cg",)
+    bad = [n for n in names if n not in REGISTRY]
+    if bad:
+        print(f"unknown benchmark(s): {bad}", file=sys.stderr)
+        return 2
+    transports = (tuple(t.strip() for t in args.transports.split(","))
+                  if args.transports else HARNESS_TRANSPORTS)
+    bad_t = [t for t in transports if t not in HARNESS_TRANSPORTS]
+    if bad_t:
+        print(f"unknown transport(s): {bad_t} (choose from "
+              f"{', '.join(HARNESS_TRANSPORTS)})", file=sys.stderr)
+        return 2
+    classes = ([tuple(args.classes.split(","))] if args.classes else None)
+    if classes:
+        bad_cls = [c for c in classes[0] if c not in HAZARD_CLASSES]
+        if bad_cls:
+            print(f"unknown hazard class(es): {bad_cls} (choose from "
+                  f"{', '.join(HAZARD_CLASSES)})", file=sys.stderr)
+            return 2
+    workdir = args.workdir or tempfile.mkdtemp(
+        prefix="repro-harness-chaos-")
+    report = run_harness_chaos(
+        workdir, benchmarks=names, size=args.size,
+        cfg=PAPER_MACHINE.with_(n_cmps=args.cmps),
+        transports=transports, classes=classes,
+        base_seed=args.chaos_seed, jobs=max(args.jobs, 2))
+    print(render_harness_chaos(
+        report, title=f"harness chaos matrix ({args.size} size, "
+                      f"{args.cmps} CMPs)"), file=out)
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+        print(f"report written to {args.report}", file=out)
+    if not report.ok:
+        failed = [o for o in report.outcomes if not o.ok]
+        print(f"error: {len(failed)} of {len(report.outcomes)} harness "
+              f"scenario(s) violated the crash-consistency invariant",
+              file=sys.stderr)
+        return 1
+    if report.total_quarantined:
+        print(f"warning: {report.total_quarantined} poison unit(s) were "
+              f"quarantined during the matrix", file=sys.stderr)
+        return 5
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:

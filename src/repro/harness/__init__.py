@@ -12,17 +12,24 @@ from .runner import (DYNAMIC_BENCHMARKS, SLIP_CONFIGS, STATIC_BENCHMARKS,
                      BenchRun, dynamic_chunk, run_benchmark,
                      run_dynamic_suite, run_static_suite)
 from .jobs import (RunSpec, SweepPlan, WorkUnit, code_fingerprint,
-                   dynamic_specs, execute_spec, static_specs, unit_key)
+                   dynamic_specs, execute_spec, failure_run,
+                   quarantined_run, static_specs, unit_key)
 from .transport import (DirQueueTransport, PoolTransport, SerialTransport,
                         Transport, run_worker)
 from .checkpoint import CheckpointJournal, MemoStore, default_memo_dir
 from .pipeline import ExecutionPipeline
+from .hazards import (HAZARD_CLASS_KINDS, HAZARD_CLASSES, HAZARD_KINDS,
+                      HazardConfig, HazardPlan, backoff_s)
+from .integrity import (IntegrityError, atomic_pickle, gc_tmp,
+                        load_verified)
 from ..obs.telemetry import (NULL_TELEMETRY, Telemetry, collect_status,
                              render_status, telemetry_area)
 from .exec import (ExecutionContext, ProcessPoolContext, SerialContext,
                    make_context)
 from .chaos import (CHAOS_BENCHMARKS, ChaosOutcome, ChaosReport,
-                    chaos_specs, oracle_check, render_chaos, run_chaos)
+                    HarnessChaosOutcome, HarnessChaosReport, chaos_specs,
+                    oracle_check, render_chaos, render_harness_chaos,
+                    run_chaos, run_harness_chaos)
 
 __all__ = [
     "BREAKDOWN_CATEGORIES", "benchmark_inventory", "breakdown_table",
@@ -34,14 +41,20 @@ __all__ = [
     "run_static_suite", "classification_to_csv", "profile_table",
     "profile_to_csv", "suite_to_csv", "suite_to_markdown",
     "RunSpec", "SweepPlan", "WorkUnit", "code_fingerprint",
-    "dynamic_specs", "execute_spec", "static_specs", "unit_key",
+    "dynamic_specs", "execute_spec", "failure_run", "quarantined_run",
+    "static_specs", "unit_key",
     "Transport", "SerialTransport", "PoolTransport", "DirQueueTransport",
     "run_worker", "CheckpointJournal", "MemoStore", "default_memo_dir",
     "ExecutionPipeline",
+    "HAZARD_KINDS", "HAZARD_CLASSES", "HAZARD_CLASS_KINDS",
+    "HazardConfig", "HazardPlan", "backoff_s",
+    "IntegrityError", "atomic_pickle", "load_verified", "gc_tmp",
     "NULL_TELEMETRY", "Telemetry", "collect_status", "render_status",
     "telemetry_area",
     "ExecutionContext", "ProcessPoolContext", "SerialContext",
     "make_context",
     "CHAOS_BENCHMARKS", "ChaosOutcome", "ChaosReport", "chaos_specs",
     "oracle_check", "render_chaos", "run_chaos",
+    "HarnessChaosOutcome", "HarnessChaosReport", "run_harness_chaos",
+    "render_harness_chaos",
 ]

@@ -20,11 +20,26 @@ Everything here is deterministic: the same ``(benchmarks, seeds,
 classes)`` arguments build the same spec list, and each spec's
 injection schedule derives only from its config seed -- a chaos matrix
 can be regression-gated exactly like cycle counts.
+
+The second half of this module is the **harness** chaos matrix
+(``repro chaos --harness``, :func:`run_harness_chaos`): the same
+adversarial discipline pointed at the execution pipeline itself.
+Seeded :class:`~repro.harness.hazards.HazardConfig` campaigns corrupt
+published pickles, fail publishes with ENOSPC/EIO, plant stale claims,
+skew lease clocks and kill workers, across the serial / pool / spool
+transports -- and every scenario must still merge cycles bit-identical
+to a hazard-free sweep, with the telemetry event log validating and
+every anomaly explained by a ``hazard.injected`` record.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,13 +48,21 @@ from ..config.machine import MachineConfig, PAPER_MACHINE
 from ..faults import CLASS_KINDS, FAULT_CLASSES, FaultConfig
 from ..interp.funcrunner import FunctionalRunner
 from ..npb import REGISTRY
+from ..obs.telemetry import (Telemetry, read_events, telemetry_area,
+                             validate_events)
+from . import hazards
+from .checkpoint import CheckpointJournal, MemoStore
 from .jobs import RunSpec, execute_spec
 from .pipeline import ExecutionPipeline
 from .runner import BenchRun
+from .transport import DirQueueTransport, PoolTransport, SerialTransport
 
 __all__ = ["CHAOS_BENCHMARKS", "SCENARIO_CLASS_SETS", "ChaosOutcome",
            "ChaosReport", "chaos_specs", "run_chaos", "oracle_check",
-           "render_chaos"]
+           "render_chaos",
+           "HARNESS_TRANSPORTS", "HARNESS_CLASS_SETS",
+           "HarnessChaosOutcome", "HarnessChaosReport",
+           "run_harness_chaos", "render_harness_chaos"]
 
 #: Default kernels of the chaos matrix: CG and MG exercise the dynamic-
 #: scheduling mailbox, LU the static path.
@@ -343,5 +366,321 @@ def render_chaos(report: ChaosReport, title: str = "chaos matrix") -> str:
         lines.append(f"harness: {ev}")
     lines.append("oracle verdict: "
                  + ("OK -- faults never changed program output"
+                    if report.ok else "FAILED"))
+    return "\n".join(lines)
+
+
+# -- harness chaos matrix (``repro chaos --harness``) ------------------------
+#
+# The pipeline-side mirror of the fault matrix above.  Each scenario
+# arms a seeded hazard campaign (:mod:`repro.harness.hazards`) over one
+# transport, runs the same small sweep twice -- a **cold** leg with
+# hazards firing (corrupted publishes, ENOSPC, stale claims, killed
+# workers), then a disarmed **resume** leg over the surviving
+# journal/memo/spool state -- and demands:
+#
+# * both legs' merged cycle vectors are *bit-identical* to a
+#   hazard-free serial baseline (zero silent data loss, zero wrong
+#   results);
+# * the shared telemetry event log validates (every started unit
+#   reaches a terminal, every abandoned execution is explained);
+# * every driver-side injection shows up as a ``hazard.injected``
+#   event (each observed anomaly is explained by the log).
+#
+# The resume leg is what proves corrupt-entry recovery: entries the
+# cold leg corrupted must be quarantined into ``corrupt/`` and
+# recomputed, never crash the driver or leak wrong bytes into a merge.
+
+HARNESS_TRANSPORTS: Tuple[str, ...] = ("serial", "pool", "spool")
+
+#: Hazard-class scenario sets per transport: only the classes whose
+#: injection sites the transport actually has (a serial sweep holds no
+#: leases and kills no workers), plus an everything-armed scenario on
+#: the spool -- the transport with the most moving parts.
+HARNESS_CLASS_SETS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+    "serial": (("corrupt",), ("disk",)),
+    "pool": (("corrupt",), ("disk",), ("kill",)),
+    "spool": (("corrupt",), ("disk",), ("lease",), ("kill",),
+              hazards.HAZARD_CLASSES),
+}
+
+
+@dataclass
+class HarnessChaosOutcome:
+    """One harness-chaos scenario's verdict."""
+
+    transport: str
+    classes: Tuple[str, ...]
+    seed: int
+    #: hazard kind -> times applied (from ``hazard.injected`` events).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Both legs merged bit-identical to the hazard-free baseline?
+    cycles_identical: bool = False
+    #: Units the resume leg had to deliver again (re-executions plus
+    #: spool harvests) -- nonzero whenever corruption landed.
+    reexecuted: int = 0
+    quarantined: int = 0
+    telemetry_problems: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return (self.error is None and self.cycles_identical
+                and not self.telemetry_problems)
+
+    def to_json(self) -> dict:
+        return {"transport": self.transport,
+                "classes": list(self.classes), "seed": self.seed,
+                "injected": dict(self.injected),
+                "cycles_identical": self.cycles_identical,
+                "reexecuted": self.reexecuted,
+                "quarantined": self.quarantined,
+                "telemetry_problems": list(self.telemetry_problems),
+                "error": self.error}
+
+
+@dataclass
+class HarnessChaosReport:
+    """The whole harness-chaos matrix's outcomes."""
+
+    baseline: List[float]
+    outcomes: List[HarnessChaosOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(sum(o.injected.values()) for o in self.outcomes)
+
+    @property
+    def total_quarantined(self) -> int:
+        return sum(o.quarantined for o in self.outcomes)
+
+    def class_injection(self) -> Dict[str, bool]:
+        """Per hazard class: did any scenario arming it actually apply
+        one of its kinds?  (Coverage visibility -- a seed whose draws
+        all land past the sweep's opportunity count injects nothing.)"""
+        cov = {}
+        for cls in hazards.HAZARD_CLASSES:
+            kinds = set(hazards.HAZARD_CLASS_KINDS[cls])
+            cov[cls] = any(cls in o.classes
+                           and any(k in kinds for k in o.injected)
+                           for o in self.outcomes)
+        return cov
+
+    def to_json(self) -> dict:
+        return {"ok": self.ok,
+                "summary": {"scenarios": len(self.outcomes),
+                            "injected": self.total_injected,
+                            "quarantined": self.total_quarantined,
+                            "class_injection": self.class_injection()},
+                "baseline_cycles": list(self.baseline),
+                "scenarios": [o.to_json() for o in self.outcomes]}
+
+
+def _cycles_equal(got: Sequence[float], want: Sequence[float]) -> bool:
+    """Bit-identical cycle vectors (NaN -- a quarantined placeholder --
+    never compares equal, so a lost unit always fails the scenario)."""
+    return (len(got) == len(want)
+            and all(a == b for a, b in zip(got, want)))
+
+
+def _build_harness_pipeline(transport: str, sdir: Path, spool_dir: Path,
+                            jobs: int, lease_s: float,
+                            tel) -> ExecutionPipeline:
+    if transport == "serial":
+        t = SerialTransport()
+    elif transport == "pool":
+        # Extra pool passes so a kill-armed fleet (at most rate deaths
+        # per kill kind, budgeted by on-disk tokens) runs out of tokens
+        # before the transport runs out of retries -- without crossing
+        # the poison threshold.
+        t = PoolTransport(jobs=jobs, max_pool_attempts=4)
+    elif transport == "spool":
+        t = DirQueueTransport(spool_dir, lease_s=lease_s, poll_s=0.02)
+    else:
+        raise ValueError(f"unknown transport {transport!r}; known: "
+                         f"{HARNESS_TRANSPORTS}")
+    return ExecutionPipeline(transport=t,
+                             journal=CheckpointJournal(sdir / "journal"),
+                             memo=MemoStore(sdir / "memo"),
+                             telemetry=tel)
+
+
+def _spawn_spool_worker(spool_dir: Path, lease_s: float):
+    """An external ``repro worker`` attached to the scenario spool; it
+    inherits ``REPRO_HAZARDS`` from the environment, so it arms itself
+    worker-side (kill hazards may SIGKILL/SIGTERM it mid-sweep)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", str(spool_dir),
+         "--wait", "--poll", "0.05", "--lease", str(lease_s)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _stop_worker(proc) -> None:
+    """SIGTERM (graceful drain), escalating to SIGKILL only if the
+    worker fails to exit -- which would itself be a drain bug."""
+    if proc.poll() is None:
+        proc.terminate()
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:    # pragma: no cover - drain bug
+        proc.kill()
+        proc.wait(timeout=15)
+
+
+def _run_harness_scenario(transport: str, cls: Tuple[str, ...], seed: int,
+                          specs: Sequence[RunSpec],
+                          baseline: Sequence[float], workdir: Path,
+                          rate: int, jobs: int, lease_s: float,
+                          spawn_worker: bool) -> HarnessChaosOutcome:
+    sdir = Path(workdir) / f"{transport}-{'+'.join(cls)}-s{seed}"
+    spool_dir = sdir / "spool"
+    tel_root = (telemetry_area(spool_dir) if transport == "spool"
+                else sdir / "telemetry")
+    config = hazards.HazardConfig(seed, classes=cls, rate=rate)
+    outcome = HarnessChaosOutcome(transport=transport, classes=tuple(cls),
+                                  seed=seed)
+    proc = None
+    try:
+        # Leg A (cold): armed driver; subprocess workers and pool
+        # children arm themselves worker-side from the environment.
+        hazards.export_env(config, state_dir=sdir / "hazard-state",
+                           telemetry_root=tel_root)
+        tel = Telemetry(root=tel_root, role="driver")
+        plan = hazards.arm(config, state_dir=sdir / "hazard-state",
+                           telemetry=tel)
+        try:
+            if transport == "spool" and spawn_worker:
+                proc = _spawn_spool_worker(spool_dir, lease_s)
+                if "kill" in cls:
+                    # Head start: the worker must attach (and start
+                    # hitting kill boundaries) before the driver can
+                    # drain the spool inline, or the scenario is
+                    # vacuously kill-free.
+                    time.sleep(1.0)
+            pipe = _build_harness_pipeline(transport, sdir, spool_dir,
+                                           jobs, lease_s, tel)
+            cold = [r.cycles for r in pipe.run(specs)]
+            outcome.quarantined += len(pipe.quarantined_units)
+        finally:
+            hazards.disarm()
+            hazards.clear_env()
+            if proc is not None:
+                _stop_worker(proc)
+            tel.close()
+        # Leg B (resume, disarmed): same journal/memo/spool.  Every
+        # entry the cold leg corrupted must quarantine as a logged
+        # miss and recompute to the identical result.
+        tel = Telemetry(root=tel_root, role="driver")
+        try:
+            pipe = _build_harness_pipeline(transport, sdir, spool_dir,
+                                           jobs, lease_s, tel)
+            resumed = [r.cycles for r in pipe.run(specs)]
+            outcome.reexecuted = int(pipe.counters.get("unit.executed"))
+            outcome.quarantined += len(pipe.quarantined_units)
+        finally:
+            tel.close()
+        outcome.cycles_identical = (_cycles_equal(cold, baseline)
+                                    and _cycles_equal(resumed, baseline))
+        if not outcome.cycles_identical:
+            outcome.error = (f"cycles diverged: baseline {list(baseline)}"
+                             f" vs cold {cold} vs resumed {resumed}")
+        problems: List[str] = []
+        events = read_events(tel_root, problems)
+        problems.extend(validate_events(events))
+        for ev in events:
+            if ev.get("event") == "hazard.injected":
+                kind = str(ev.get("kind"))
+                outcome.injected[kind] = outcome.injected.get(kind, 0) + 1
+        if sum(outcome.injected.values()) < len(plan.injected):
+            problems.append(
+                f"{len(plan.injected)} driver-side injection(s) but only "
+                f"{sum(outcome.injected.values())} hazard.injected "
+                f"event(s) in the log")
+        outcome.telemetry_problems = problems
+    except Exception as e:   # noqa: BLE001 - the matrix reports, not dies
+        outcome.error = f"{type(e).__name__}: {e}"
+    finally:
+        hazards.disarm()
+        hazards.clear_env()
+        if proc is not None:
+            _stop_worker(proc)
+    return outcome
+
+
+def run_harness_chaos(workdir,
+                      benchmarks: Sequence[str] = ("cg",),
+                      configs: Sequence[str] = ("single", "G0"),
+                      size: str = "test",
+                      cfg: MachineConfig = PAPER_MACHINE,
+                      transports: Sequence[str] = HARNESS_TRANSPORTS,
+                      classes: Optional[Sequence[Sequence[str]]] = None,
+                      base_seed: int = 0, rate: int = 2, jobs: int = 2,
+                      lease_s: float = 2.0,
+                      spawn_worker: bool = True) -> HarnessChaosReport:
+    """Run the seeded hazard matrix over the execution pipeline.
+
+    Per ``(transport, class set)`` scenario: a cold hazardous sweep,
+    then a disarmed resume sweep over the surviving state, both checked
+    bit-identical against one hazard-free serial baseline (see the
+    section comment).  ``classes`` overrides the per-transport default
+    scenario sets (:data:`HARNESS_CLASS_SETS`); ``rate`` is injections
+    scheduled per hazard kind -- it is also the kill-token budget per
+    kill kind, sized so a kill-armed fleet always runs out of kills
+    before a unit crosses the poison threshold.
+    """
+    workdir = Path(workdir)
+    specs = [RunSpec.make(b, c, size=size, cfg=cfg)
+             for b in benchmarks for c in configs]
+    if hazards.current() is not None:
+        raise RuntimeError(
+            "refusing to measure the baseline with hazards armed")
+    baseline = [r.cycles for r in ExecutionPipeline().run(specs)]
+    outcomes: List[HarnessChaosOutcome] = []
+    for ti, transport in enumerate(transports):
+        if transport not in HARNESS_CLASS_SETS:
+            raise ValueError(f"unknown transport {transport!r}; known: "
+                             f"{HARNESS_TRANSPORTS}")
+        sets = ([tuple(c) for c in classes] if classes is not None
+                else HARNESS_CLASS_SETS[transport])
+        for ci, cls in enumerate(sets):
+            seed = base_seed * 10_000 + ti * 100 + ci
+            outcomes.append(_run_harness_scenario(
+                transport, tuple(cls), seed, specs, baseline, workdir,
+                rate, jobs, lease_s, spawn_worker))
+    return HarnessChaosReport(baseline=list(baseline), outcomes=outcomes)
+
+
+def render_harness_chaos(report: HarnessChaosReport,
+                         title: str = "harness chaos matrix") -> str:
+    """Human-readable scenario table plus the summary verdict."""
+    lines = [title, "=" * len(title),
+             f"{'scenario':<18} {'classes':<28} {'fired':>5} "
+             f"{'re-ex':>5} {'quar':>4}  verdict"]
+    for o in report.outcomes:
+        name = f"{o.transport} seed={o.seed}"
+        fired = sum(o.injected.values())
+        verdict = "ok" if o.ok else "** FAILED **"
+        lines.append(f"{name:<18} {','.join(o.classes):<28} {fired:>5} "
+                     f"{o.reexecuted:>5} {o.quarantined:>4}  {verdict}")
+        if o.error:
+            lines.append(f"    {o.error[:240]}")
+        for p in o.telemetry_problems[:4]:
+            lines.append(f"    telemetry: {p}")
+    cov = report.class_injection()
+    lines.append(f"{len(report.outcomes)} scenario(s): "
+                 f"{report.total_injected} hazard(s) injected, "
+                 f"{report.total_quarantined} unit(s) quarantined")
+    lines.append("injection coverage: " + ", ".join(
+        f"{c}={'yes' if hit else 'no'}" for c, hit in sorted(cov.items())))
+    lines.append("harness verdict: "
+                 + ("OK -- every hazardous sweep merged bit-identical to "
+                    "the hazard-free baseline"
                     if report.ok else "FAILED"))
     return "\n".join(lines)

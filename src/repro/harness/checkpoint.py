@@ -23,26 +23,31 @@ simulation results.  The two differ only in scope and lifetime:
   the key -- see :func:`repro.harness.jobs.unit_key`) makes the served
   result bit-identical to a fresh run.
 
-Durability rules: entries publish via ``os.replace`` so readers (other
-workers, a concurrent resume) never observe a torn write, and a
-corrupt or unreadable entry degrades to a miss, never an error.
-Failed runs are journaled (a resume must not redo a 5e6-cycle hang)
-but only *deterministic* failures are memoized: ``hang`` and
-``wrong-output`` replay identically, while a ``crash`` may be
-environmental (OOM, a signal) and must stay retryable.
+Durability rules: entries publish through
+:func:`repro.harness.integrity.atomic_pickle` -- ``os.replace`` so
+readers (other workers, a concurrent resume) never observe a torn
+write, plus a sha256 integrity frame so a corrupt entry (bit rot, a
+writer SIGKILLed mid-temp-write, an operator truncation) is *detected*
+on load, quarantined into ``<root>/corrupt/`` as evidence, recorded as
+an ``integrity.corrupt`` telemetry event, and served as a miss --
+never an error, and never a silently-wrong memo hit.  Failed runs are
+journaled (a resume must not redo a 5e6-cycle hang) but only
+*deterministic* failures are memoized: ``hang`` and ``wrong-output``
+replay identically, while a ``crash`` may be environmental (OOM, a
+signal) and must stay retryable -- as must a ``quarantined`` poison
+placeholder.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from ..npb.cache import cache_root
 from ..obs.telemetry import NULL_TELEMETRY
+from .integrity import atomic_pickle, load_verified
 from .runner import BenchRun
 
 __all__ = ["ResultStore", "CheckpointJournal", "MemoStore",
@@ -76,30 +81,30 @@ class ResultStore:
         return self.root / f"{key}{self.suffix}"
 
     def get(self, key: str) -> Optional[BenchRun]:
-        """The stored payload for ``key``, or None (miss)."""
+        """The verified stored payload for ``key``, or None (miss).
+
+        An entry that fails the integrity check is quarantined into
+        ``<root>/corrupt/`` (a logged miss, so the unit simply
+        re-executes) -- a hit is only ever served after verification.
+        """
         t0 = time.perf_counter()
         try:
-            with open(self._path(key), "rb") as fh:
-                payload = pickle.load(fh)
-        # A corrupt entry raises essentially anything depending on the
-        # bytes; a broken store file must never be worse than a miss.
-        except Exception:
-            return None
+            payload = load_verified(
+                self._path(key), quarantine_to=self.root / "corrupt",
+                telemetry=self.telemetry, what=self.metric_prefix,
+                unit=key)
         finally:
             self.telemetry.observe(f"{self.metric_prefix}.lookup_s",
                                    time.perf_counter() - t0)
         return payload if isinstance(payload, BenchRun) else None
 
     def put(self, key: str, run: BenchRun) -> bool:
-        """Atomically publish ``run`` under ``key``; False if the
-        store is unwritable (the sweep proceeds without durability)."""
+        """Atomically publish ``run`` under ``key`` (integrity-framed);
+        False if the store is unwritable (the sweep proceeds without
+        durability)."""
         t0 = time.perf_counter()
         try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(run, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
+            atomic_pickle(run, self._path(key), what=self.metric_prefix)
             return True
         except OSError:
             return False

@@ -44,7 +44,8 @@ from ..runtime import SimDeadlockError, run_program
 from .runner import BenchRun, _env_for, _mode_for
 
 __all__ = ["RunSpec", "WorkUnit", "SweepPlan", "execute_spec",
-           "code_fingerprint", "unit_key", "static_specs", "dynamic_specs"]
+           "failure_run", "quarantined_run", "code_fingerprint",
+           "unit_key", "static_specs", "dynamic_specs"]
 
 
 @dataclass(frozen=True)
@@ -248,10 +249,35 @@ def execute_spec(spec: RunSpec) -> BenchRun:
             kind, msg = "wrong-output", f"verification failed: {e}"
         else:
             kind, msg = "crash", f"{type(e).__name__}: {e}"
-        run = BenchRun(spec.bench, spec.config, None, {})
-        run.error = msg
-        run.error_kind = kind
-        return run
+        return failure_run(spec, kind, msg)
+
+
+def failure_run(spec: RunSpec, kind: str, msg: str) -> BenchRun:
+    """A resultless :class:`BenchRun` carrying a classified failure --
+    the shape every captured-error and quarantine path returns, so
+    merges and tables stay total (``cycles`` reads as NaN)."""
+    run = BenchRun(spec.bench, spec.config, None, {})
+    run.error = msg
+    run.error_kind = kind
+    return run
+
+
+def quarantined_run(spec: RunSpec, attempts: int) -> BenchRun:
+    """The stand-in result for a poison unit.
+
+    A unit whose execution *process* died ``attempts`` times in a row
+    (worker SIGKILLed mid-unit, pool repeatedly broken) without ever
+    publishing a result is quarantined rather than retried forever:
+    the sweep completes, the merge carries this loud placeholder
+    (``error_kind == "quarantined"``), and the CLI exits 5.  Never
+    journaled as a real result by the memo store (``crash``-adjacent:
+    a poison unit may be environmental and must stay retryable after
+    the operator clears the quarantine).
+    """
+    return failure_run(
+        spec, "quarantined",
+        f"poison unit: {attempts} execution attempt(s) died without a "
+        f"result; quarantined")
 
 
 def _execute(spec: RunSpec) -> BenchRun:

@@ -75,6 +75,9 @@ class ExecutionPipeline:
         #: same session is attached to every stage so one record
         #: stream covers the whole sweep.
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: Unit keys quarantined as poison in the last run (from the
+        #: transport or resumed from a journaled quarantine placeholder).
+        self.quarantined_units: List[str] = []
         self.transport.telemetry = self.telemetry
         if self.journal is not None:
             self.journal.telemetry = self.telemetry
@@ -162,6 +165,16 @@ class ExecutionPipeline:
             self.transport.run(todo, on_result)
             self._stage_finish("dispatch", t0, n_units=len(todo))
         merged = plan.merge(results)
+        # Poison units settle the merge with loud placeholders; keep
+        # their keys (from any source -- this dispatch, a journaled
+        # quarantine resumed above) so summaries and the CLI exit code
+        # can report them.
+        qkeys = sorted(
+            u.key for u in plan.distinct()
+            if getattr(results[u.key], "error_kind", None) == "quarantined")
+        self.quarantined_units = qkeys
+        if qkeys:
+            self.probe.count("unit.quarantined", len(qkeys))
         tel.emit("sweep.finished",
                  wall_s=round(time.perf_counter() - t_sweep, 6),
                  n_executed=int(self.counters.get("unit.executed")))
@@ -209,6 +222,9 @@ class ExecutionPipeline:
             parts.append(f"memo {c('memo.hit')} hit(s) / "
                          f"{c('memo.miss')} miss(es)")
         parts.append(f"{c('unit.executed')} executed")
+        if self.quarantined_units:
+            parts.append(f"{len(self.quarantined_units)} QUARANTINED "
+                         f"(poison)")
         if self.telemetry.enabled:
             hist = self.telemetry.metrics.histograms.get("unit.exec_s")
             if hist is not None and len(hist):
@@ -223,6 +239,11 @@ class ExecutionPipeline:
     def degraded(self) -> bool:
         """Did the transport lose workers and fall back to serial?"""
         return self.transport.degraded
+
+    @property
+    def quarantined(self) -> bool:
+        """Did the last sweep complete with poison units quarantined?"""
+        return bool(self.quarantined_units)
 
     @property
     def events(self) -> List[str]:

@@ -31,7 +31,8 @@ from .harness_trace import harness_trace_events
 from .metrics import Histogram, MetricsRegistry
 from .session import (NULL_TELEMETRY, NullTelemetry, Telemetry,
                       telemetry_area, worker_id)
-from .status import (FleetStatus, WorkerStatus, collect_status,
+from .status import (DEFAULT_STALL_S, FleetStatus, WorkerStatus,
+                     claim_is_stalled, collect_status, heartbeat_age,
                      render_status)
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "worker_id",
     "telemetry_area",
     "FleetStatus", "WorkerStatus", "collect_status", "render_status",
+    "claim_is_stalled", "heartbeat_age", "DEFAULT_STALL_S",
     "harness_trace_events",
 ]

@@ -54,12 +54,17 @@ EVENT_TYPES = frozenset({
     "unit.claimed", "unit.started",
     "unit.finished", "unit.failed",
     "unit.retried", "unit.skipped",
+    "unit.quarantined",
     "pool.degraded", "lease.reaped",
     "watchdog.deadlock",
+    "hazard.injected", "integrity.corrupt",
 })
 
-#: Events that settle a unit's fate for the sweep.
-TERMINAL_EVENTS = frozenset({"unit.finished", "unit.failed"})
+#: Events that settle a unit's fate for the sweep.  A quarantined
+#: poison unit is settled too: its placeholder result reaches the
+#: merge, nothing will execute it again this sweep.
+TERMINAL_EVENTS = frozenset({"unit.finished", "unit.failed",
+                             "unit.quarantined"})
 
 
 class EventLog:

@@ -17,10 +17,13 @@ wedged fleet:
 The module reads the spool layout directly rather than importing
 :mod:`repro.harness` (harness modules import ``repro.obs``; keeping
 this one-way avoids an import cycle).  A fleet is **stalled** when
-work remains but nothing is moving: a claim has outlived ``stall_s``,
-or there are pending units with no live worker and no fresh claim.
-``repro status`` exits nonzero on a stalled fleet so scripts can alarm
-on it.
+work remains but nothing is moving: a claim is stalled under
+:func:`claim_is_stalled` -- the one shared heartbeat-aware predicate
+both this status view and ``DirQueueTransport`` lease reaping apply,
+so the claim ``repro status`` flags as a straggler is exactly the
+claim the transport would reap -- or there are pending units with no
+live worker and no fresh claim.  ``repro status`` exits nonzero on a
+stalled fleet so scripts can alarm on it.
 """
 
 from __future__ import annotations
@@ -34,10 +37,45 @@ from typing import Dict, List, Optional, Union
 from .events import TERMINAL_EVENTS, read_events
 
 __all__ = ["WorkerStatus", "FleetStatus", "collect_status",
-           "render_status"]
+           "render_status", "claim_is_stalled", "heartbeat_age",
+           "DEFAULT_STALL_S"]
 
 #: A claim or heartbeat older than this is considered stuck/dead.
 DEFAULT_STALL_S = 30.0
+
+
+def claim_is_stalled(claim_age_s: Optional[float],
+                     heartbeat_age_s: Optional[float],
+                     stall_s: float) -> bool:
+    """The one definition of a stalled (reapable) claim, shared by
+    ``repro status`` stall detection and ``DirQueueTransport`` /
+    ``run_worker`` lease reaping.
+
+    A claim is stalled when it has outlived ``stall_s`` **and** its
+    owner shows no fresh heartbeat: a live worker grinding through a
+    long unit keeps heartbeating, so its old claim is a straggler to
+    watch, not a lease to steal.  No heartbeat at all (``None``) means
+    presumed dead -- claims planted without telemetry, or by a worker
+    SIGKILLed before its first beat, still reap by age alone.
+    """
+    if claim_age_s is None or claim_age_s <= stall_s:
+        return False
+    return heartbeat_age_s is None or heartbeat_age_s > stall_s
+
+
+def heartbeat_age(heartbeats_dir: Union[str, Path, None],
+                  worker: Optional[str],
+                  _now: Optional[float] = None) -> Optional[float]:
+    """Seconds since ``worker`` last heartbeat (file mtime), or None
+    when unknown (no dir, no owner recorded, no beat written yet)."""
+    if heartbeats_dir is None or not worker:
+        return None
+    try:
+        mtime = (Path(heartbeats_dir) / f"{worker}.json").stat().st_mtime
+    except OSError:
+        return None
+    now = time.time() if _now is None else _now
+    return max(0.0, now - mtime)
 
 
 @dataclass
@@ -64,6 +102,8 @@ class FleetStatus:
     units_failed: int = 0
     units_claimed: int = 0
     units_queued: int = 0       #: pending and unclaimed
+    units_quarantined: int = 0  #: poison units settled by quarantine
+    corrupt_entries: int = 0    #: files that failed integrity checks
     workers: List[WorkerStatus] = field(default_factory=list)
     stragglers: List[dict] = field(default_factory=list)
     eta_s: Optional[float] = None
@@ -81,7 +121,9 @@ class FleetStatus:
             "units": {"total": self.units_total, "done": self.units_done,
                       "failed": self.units_failed,
                       "claimed": self.units_claimed,
-                      "queued": self.units_queued},
+                      "queued": self.units_queued,
+                      "quarantined": self.units_quarantined},
+            "corrupt_entries": self.corrupt_entries,
             "workers": [vars(w) for w in self.workers],
             "stragglers": self.stragglers,
             "eta_s": self.eta_s,
@@ -140,29 +182,44 @@ def collect_status(spool_root: Union[str, Path],
             if units_dir.is_dir() else [])
     results_dir = root / "results"
     claims_dir = root / "claims"
+    hb_dir = area / "heartbeats"
     status.units_total = len(keys)
     for key in keys:
         if (results_dir / f"{key}.run").is_file():
             status.units_done += 1
             continue
         claim = claims_dir / f"{key}.claim"
+        owner = None
         try:
             claim_age = max(0.0, now - claim.stat().st_mtime)
         except OSError:
             claim_age = None
+        if claim_age is not None:
+            try:
+                body = json.loads(claim.read_text())
+                if isinstance(body, dict):
+                    owner = body.get("worker")
+            except (OSError, ValueError):
+                pass
         if claim_age is None:
             status.units_queued += 1
         else:
             status.units_claimed += 1
-            if claim_age > stall_s:
+            hb_age = heartbeat_age(hb_dir, owner, _now=now)
+            if claim_is_stalled(claim_age, hb_age, stall_s):
                 status.stragglers.append(
-                    {"unit": key, "claim_age_s": round(claim_age, 3)})
+                    {"unit": key, "claim_age_s": round(claim_age, 3),
+                     "owner": owner,
+                     "heartbeat_age_s": (round(hb_age, 3)
+                                         if hb_age is not None else None)})
 
     status.workers = _read_heartbeats(area, stall_s)
 
     # Event log: failure kinds + the mean wall time ETA extrapolates.
     wall: List[float] = []
     failed = set()
+    quarantined = set()
+    corrupt = 0
     if area.is_dir():
         for rec in read_events(area):
             ev = rec.get("event")
@@ -171,7 +228,13 @@ def collect_status(spool_root: Union[str, Path],
                 wall.append(float(rec["wall_s"]))
             if ev == "unit.failed" and rec.get("unit"):
                 failed.add(rec["unit"])
+            elif ev == "unit.quarantined" and rec.get("unit"):
+                quarantined.add(rec["unit"])
+            elif ev == "integrity.corrupt":
+                corrupt += 1
     status.units_failed = len(failed)
+    status.units_quarantined = len(quarantined)
+    status.corrupt_entries = corrupt
     if wall:
         status.mean_unit_s = round(sum(wall) / len(wall), 3)
 
@@ -206,7 +269,12 @@ def render_status(status: FleetStatus) -> str:
                f"{status.units_queued} queued")
     if status.units_failed:
         summary += f", {status.units_failed} failed"
+    if status.units_quarantined:
+        summary += f", {status.units_quarantined} QUARANTINED"
     lines.append(summary)
+    if status.corrupt_entries:
+        lines.append(f"  integrity: {status.corrupt_entries} corrupt "
+                     f"file(s) quarantined")
     if status.mean_unit_s is not None:
         lines.append(f"  mean unit wall time: {status.mean_unit_s:.3f}s")
     if status.eta_s is not None:

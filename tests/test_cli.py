@@ -119,6 +119,49 @@ def test_bench_spool_flag(tmp_path):
     assert "via spool" in out and "4 executed" in out
 
 
+def test_bench_spool_quarantine_exits_5(tmp_path):
+    """A sweep that completes but had to quarantine a poison unit exits
+    with the distinct code 5 (outranking pool-degrade's 3), so scripts
+    can tell 'done with data loss flagged' from 'done'."""
+    from repro.harness.transport import _Spool
+
+    spool_dir = tmp_path / "spool"
+    argv = ["bench", "cg", "--size", "test", "--cmps", "4",
+            "--spool", str(spool_dir)]
+    rc, _ = run_cli(argv)
+    assert rc == 0
+
+    # poison one unit: drop its result, fake 3 dead execution attempts
+    spool = _Spool(spool_dir)
+    key = next(k for k in (p.name[:-4]
+                           for p in sorted(spool.results.glob("*.run")))
+               if spool.load_spec(k).config == "G0")
+    spool.result_path(key).unlink()
+    for _ in range(3):
+        spool.record_attempt(key)
+
+    rc, out = run_cli(argv)
+    assert rc == 5
+    assert "1 QUARANTINED (poison)" in out
+
+
+def test_chaos_harness_subcommand(tmp_path):
+    """`repro chaos --harness` runs the execution-layer hazard matrix
+    and exits 0 when every scenario merges bit-identical."""
+    rc, out = run_cli(["chaos", "--harness", "cg", "--cmps", "4",
+                       "--transports", "serial", "--classes", "corrupt",
+                       "--workdir", str(tmp_path / "wd")])
+    assert rc == 0
+    assert "harness chaos matrix" in out
+    assert "harness verdict: OK" in out
+
+
+def test_chaos_harness_rejects_bad_transport(tmp_path):
+    rc, _ = run_cli(["chaos", "--harness", "--transports", "nosuch",
+                     "--workdir", str(tmp_path / "wd")])
+    assert rc == 2
+
+
 def test_worker_on_empty_spool(tmp_path):
     rc, out = run_cli(["worker", str(tmp_path / "spool")])
     assert rc == 0

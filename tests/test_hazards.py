@@ -1,0 +1,435 @@
+"""Harness hazard injection and the crash-consistency hardening it
+gates: seeded deterministic schedules, integrity framing, poison-unit
+quarantine, graceful SIGTERM drain, heartbeat-aware lease reaping, and
+the shared stalled-claim predicate (``repro status`` and the spool
+reaper must agree on what "stalled" means)."""
+
+import errno
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.config import PAPER_MACHINE
+from repro.harness import hazards
+from repro.harness.chaos import run_harness_chaos
+from repro.harness.hazards import HazardConfig, HazardPlan, backoff_s
+from repro.harness.integrity import (IntegrityError, atomic_pickle, frame,
+                                     gc_tmp, load_verified, unframe)
+from repro.harness.jobs import RunSpec, SweepPlan, unit_key
+from repro.harness.pipeline import ExecutionPipeline
+from repro.harness.transport import (DirQueueTransport, PoolTransport,
+                                     _Spool)
+from repro.obs.telemetry import (Telemetry, claim_is_stalled, collect_status,
+                                 heartbeat_age, read_events, telemetry_area)
+
+CFG = PAPER_MACHINE.with_(n_cmps=4)
+
+
+def _specs(configs=("single", "G0")):
+    return [RunSpec.make("cg", c, size="test", cfg=CFG) for c in configs]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    """Hazard-free serial cycles for the two-config sweep."""
+    runs = ExecutionPipeline().run(_specs())
+    return {r.config: r.cycles for r in runs}
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    """No test may leak an armed plan (or env campaign) into the next."""
+    yield
+    hazards.disarm()
+    hazards.clear_env()
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _wait_for(predicate, timeout_s=60.0, poll_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return False
+
+
+# -- schedules: seeded, validated, opportunity-indexed -----------------------
+
+def test_config_validation_and_canonicalization():
+    with pytest.raises(ValueError):
+        HazardConfig(0, classes=("nosuch",))
+    with pytest.raises(ValueError):
+        HazardConfig(0, rate=0)
+    cfg = HazardConfig(0, classes=("lease", "corrupt", "corrupt"))
+    assert cfg.classes == ("corrupt", "lease")
+    # kinds come out in fixed schedule-draw order, classes only gate
+    assert cfg.kinds == ("pickle_corrupt", "pickle_truncate",
+                         "stale_claim", "clock_skew")
+
+
+def test_schedule_is_a_pure_function_of_the_seed():
+    a = HazardPlan(HazardConfig(7))
+    b = HazardPlan(HazardConfig(7))
+    assert a.schedule == b.schedule
+    assert set(a.schedule) == set(HazardConfig(7).kinds)
+    others = [HazardPlan(HazardConfig(s)).schedule for s in range(1, 6)]
+    assert any(o != a.schedule for o in others)
+
+
+def test_fire_by_opportunity_index():
+    plan = HazardPlan(HazardConfig(3, classes=("disk",), rate=1))
+    (idx,) = plan.schedule["publish_enospc"]
+    hits = [i for i in range(40) if plan.fire("publish_enospc")]
+    assert hits == [idx]
+    # unknown/unarmed kinds never fire
+    assert plan.fire("kill_worker") is None
+
+
+def test_backoff_is_deterministic_capped_and_jittered():
+    assert backoff_s("u", 0) == 0.0
+    assert backoff_s("u", 3) == backoff_s("u", 3)
+    assert backoff_s("u", 3) != backoff_s("v", 3)       # decorrelated
+    for attempt in range(1, 12):
+        d = backoff_s("u", attempt, base=0.05, cap=2.0)
+        assert 0.0 < d <= 2.0 * 1.5
+
+
+def test_disarmed_sites_are_noops(tmp_path):
+    hazards.disarm()
+    assert hazards.current() is None
+    spool = _Spool(tmp_path / "spool")
+    spool.ensure()
+    spool.publish("k", {"x": 1})
+    assert spool.load_result("k") == {"x": 1}
+    assert spool.try_claim("k")
+    age = spool.claim_age("k")
+    assert age is not None and age < 5.0                # no skew applied
+
+
+# -- integrity framing -------------------------------------------------------
+
+def test_frame_roundtrip_and_tamper_detection():
+    payload = pickle.dumps({"cycles": 123})
+    data = frame(payload)
+    assert unframe(data) == payload
+    flipped = bytearray(data)
+    flipped[len(flipped) // 2] ^= 0x40
+    with pytest.raises(IntegrityError):
+        unframe(bytes(flipped))
+    with pytest.raises(IntegrityError):
+        unframe(data[: len(data) // 2])                 # truncated
+    with pytest.raises(IntegrityError):
+        unframe(b"XXXX" + data[4:])                     # wrong magic
+
+
+def test_load_verified_quarantines_and_logs(tmp_path):
+    path = tmp_path / "entry.run"
+    atomic_pickle({"ok": True}, path)
+    raw = bytearray(path.read_bytes())
+    raw[-3] ^= 0xFF                                     # rot the digest
+    path.write_bytes(bytes(raw))
+    tel = Telemetry(root=tmp_path / "telemetry", role="driver")
+    got = load_verified(path, quarantine_to=tmp_path / "corrupt",
+                        telemetry=tel, what="result", unit="u1")
+    tel.close()
+    assert got is None                                  # a miss, not a crash
+    assert not path.exists()                            # moved aside
+    assert len(list((tmp_path / "corrupt").iterdir())) == 1
+    events = read_events(tmp_path / "telemetry")
+    assert any(e["event"] == "integrity.corrupt" and e.get("unit") == "u1"
+               for e in events)
+
+
+def test_load_verified_accepts_legacy_unframed_pickle(tmp_path):
+    path = tmp_path / "old.run"
+    path.write_bytes(pickle.dumps({"legacy": 1}))
+    assert load_verified(path) == {"legacy": 1}
+
+
+# -- publish hazards (corrupt / disk-full) -----------------------------------
+
+def test_publish_hazards_enospc_then_corrupt(tmp_path):
+    spool = _Spool(tmp_path / "spool")
+    spool.ensure()
+    plan = hazards.arm(HazardConfig(0, classes=("corrupt", "disk")))
+    # pin the schedule: first publish hits ENOSPC, second is corrupted
+    plan.schedule = {"publish_enospc": {0: True}, "publish_eio": {},
+                     "pickle_corrupt": {0: (0.5, 0xFF)},
+                     "pickle_truncate": {}}
+    plan._seen = {k: 0 for k in plan.schedule}
+    with pytest.raises(OSError) as e:
+        spool.publish("k", {"x": 1})
+    assert e.value.errno == errno.ENOSPC
+    spool.publish("k", {"x": 1})                        # lands corrupted
+    hazards.disarm()
+    assert spool.load_result("k") is None               # quarantined miss
+    assert list(spool.corrupt.iterdir())
+    assert plan.summary() == {"publish_enospc": 1, "pickle_corrupt": 1}
+
+
+def test_lease_hazards_stale_claim_and_clock_skew(tmp_path):
+    spool = _Spool(tmp_path / "spool")
+    spool.ensure()
+    plan = hazards.arm(HazardConfig(0, classes=("lease",)))
+    plan.schedule = {"stale_claim": {0: 500.0}, "clock_skew": {}}
+    plan._seen = {k: 0 for k in plan.schedule}
+    plan.maybe_stale_claim(spool, "k")
+    assert spool.claim_owner("k") == "hazard-phantom"
+    assert spool.claim_age("k") > 400.0                 # back-dated
+    assert spool.reap_stale(["k"], lease_s=30.0) == ["k"]
+    # clock skew inflates exactly one age reading
+    plan.schedule = {"stale_claim": {}, "clock_skew": {0: 100.0}}
+    plan._seen = {k: 0 for k in plan.schedule}
+    assert spool.try_claim("k2")
+    assert spool.claim_age("k2") >= 100.0
+    assert spool.claim_age("k2") < 50.0                 # only the one reading
+    assert [r["kind"] for r in plan.injected] == ["stale_claim",
+                                                  "clock_skew"]
+
+
+# -- tmp litter: ignored by readers, GC'd ------------------------------------
+
+def test_gc_tmp_collects_only_stale_litter(tmp_path):
+    old = tmp_path / "dead-writer.tmp"
+    old.write_bytes(b"partial")
+    then = time.time() - 3600
+    os.utime(old, times=(then, then))
+    fresh = tmp_path / "live-writer.tmp"
+    fresh.write_bytes(b"in flight")
+    keeper = tmp_path / "entry.run"
+    keeper.write_bytes(b"payload")
+    removed = gc_tmp(tmp_path, older_than_s=60.0)
+    assert removed == [old]
+    assert fresh.exists() and keeper.exists()
+
+
+def test_sigkill_between_tmp_write_and_rename(golden, tmp_path):
+    """A worker SIGKILLed inside the publish window (after the temp
+    write, before the rename) leaves only ``*.tmp`` litter: readers
+    never see a partial result, the driver reaps the dead lease and
+    finishes bit-identical, and GC collects the litter."""
+    root = tmp_path / "spool"
+    specs = _specs(("single",))
+    plan = SweepPlan(specs)
+    spool = _Spool(root)
+    spool.ensure()
+    for u in plan.distinct():
+        spool.enqueue(u.key, u.spec)
+    script = (
+        "import os, signal, sys\n"
+        "_real = os.replace\n"
+        "def boom(src, dst, *a, **kw):\n"
+        "    if str(dst).endswith('.run'):\n"
+        "        os.kill(os.getpid(), signal.SIGKILL)\n"
+        "    return _real(src, dst, *a, **kw)\n"
+        "os.replace = boom\n"
+        "import repro.harness.transport as ht\n"
+        "ht.run_worker(sys.argv[1], drain=False, poll_s=0.05)\n")
+    proc = subprocess.Popen([sys.executable, "-c", script, str(root)],
+                            env=_env(), stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        assert _wait_for(lambda: proc.poll() is not None, timeout_s=120.0), \
+            "worker never hit the publish window"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    (key,) = plan.keys
+    litter = list(spool.results.glob("*.tmp"))
+    assert litter, "kill inside the window must strand a temp file"
+    assert not spool.has_result(key)                    # readers see a miss
+    assert spool.claim_age(key) is not None             # lease left behind
+
+    pipe = ExecutionPipeline(
+        transport=DirQueueTransport(root, lease_s=0.3, poll_s=0.02))
+    runs = pipe.run(specs)
+    assert {r.config: r.cycles for r in runs} == {"single": golden["single"]}
+    assert spool.has_result(key)
+    # the transport's in-run GC (or this explicit sweep) clears the
+    # litter; results are never eligible
+    spool.gc_tmp(older_than_s=0.0)
+    assert not list(spool.results.glob("*.tmp"))
+    assert spool.has_result(key)                        # GC never eats results
+
+
+# -- poison-unit quarantine --------------------------------------------------
+
+def test_spool_quarantines_poison_unit(golden, tmp_path):
+    """A unit whose attempts ledger shows ``quarantine_after`` dead
+    executions settles as a loud placeholder instead of crash-looping
+    the fleet; the rest of the sweep is unaffected."""
+    root = tmp_path / "spool"
+    specs = _specs()
+    plan = SweepPlan(specs)
+    poison = next(u for u in plan.distinct() if u.spec.config == "G0")
+    spool = _Spool(root)
+    spool.ensure()
+    for _ in range(3):
+        spool.record_attempt(poison.key)
+    tel = Telemetry(root=telemetry_area(root), role="driver")
+    pipe = ExecutionPipeline(
+        transport=DirQueueTransport(root, lease_s=5.0, poll_s=0.02,
+                                    quarantine_after=3),
+        telemetry=tel)
+    runs = {r.config: r for r in pipe.run(specs)}
+    tel.close()
+    assert runs["single"].cycles == golden["single"]
+    assert runs["G0"].error_kind == "quarantined"
+    assert pipe.quarantined and pipe.quarantined_units == [poison.key]
+    assert "1 QUARANTINED (poison)" in pipe.summary()
+    events = read_events(telemetry_area(root))
+    assert any(e["event"] == "unit.quarantined" and e["unit"] == poison.key
+               for e in events)
+
+
+def test_pool_quarantines_poison_unit(golden, tmp_path, monkeypatch):
+    """A unit that SIGKILLs its pool child on every attempt crosses the
+    poison threshold and is quarantined; the healthy unit's result is
+    untouched."""
+    import repro.harness.transport as ht
+    real = ht._run_spec
+
+    def killer(spec):
+        if spec.config == "G0":
+            # let co-scheduled healthy units finish before the pool
+            # breaks, so only the poison unit accumulates suspicion
+            time.sleep(1.0)
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real(spec)
+
+    monkeypatch.setattr(ht, "_run_spec", killer)
+    specs = _specs()
+    pipe = ExecutionPipeline(transport=PoolTransport(
+        jobs=2, start_method="fork", max_pool_attempts=5,
+        poison_threshold=3, backoff_base=0.01))
+    runs = {r.config: r for r in pipe.run(specs)}
+    assert runs["single"].cycles == golden["single"]
+    assert runs["G0"].error_kind == "quarantined"
+    poison = next(u for u in SweepPlan(specs).distinct()
+                  if u.spec.config == "G0")
+    assert pipe.quarantined_units == [poison.key]
+
+
+# -- graceful SIGTERM drain --------------------------------------------------
+
+def test_worker_sigterm_drains_in_flight_unit(tmp_path):
+    """SIGTERM mid-unit: the worker finishes the unit, publishes,
+    releases its claim, and exits 0 -- nothing for lease reaping to
+    recover."""
+    root = tmp_path / "spool"
+    specs = _specs(("single",))
+    plan = SweepPlan(specs)
+    spool = _Spool(root)
+    spool.ensure()
+    for u in plan.distinct():
+        spool.enqueue(u.key, u.spec)
+    # stretch the unit so SIGTERM reliably lands mid-execution
+    script = ("import sys, time\n"
+              "import repro.harness.transport as ht\n"
+              "_real = ht._run_spec\n"
+              "def slow(spec):\n"
+              "    time.sleep(1.5)\n"
+              "    return _real(spec)\n"
+              "ht._run_spec = slow\n"
+              "ht.run_worker(sys.argv[1], drain=False, poll_s=0.05)\n")
+    proc = subprocess.Popen([sys.executable, "-c", script, str(root)],
+                            env=_env(), stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    try:
+        assert _wait_for(lambda: any(spool.claims.glob("*.claim")),
+                         timeout_s=120.0), "worker never claimed"
+        proc.terminate()                                # SIGTERM
+        assert proc.wait(timeout=120) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    (key,) = plan.keys
+    assert spool.has_result(key)                        # drained, not dropped
+    assert not list(spool.claims.glob("*.claim"))       # claim released
+    events = read_events(telemetry_area(root))
+    stops = [e for e in events if e["event"] == "worker.stopped"]
+    assert stops and stops[-1].get("reason") == "sigterm"
+
+
+# -- the one shared "stalled" definition -------------------------------------
+
+def test_claim_is_stalled_truth_table():
+    # fresh claim: never stalled, whatever the heartbeat says
+    assert not claim_is_stalled(1.0, None, 30.0)
+    assert not claim_is_stalled(None, None, 30.0)
+    # old claim + fresh heartbeat: live straggler, keeps its lease
+    assert not claim_is_stalled(100.0, 2.0, 30.0)
+    # old claim + stale or missing heartbeat: reapable
+    assert claim_is_stalled(100.0, 100.0, 30.0)
+    assert claim_is_stalled(100.0, None, 30.0)
+
+
+def test_status_and_reaper_agree_on_stalled(tmp_path):
+    """Satellite pin: ``repro status`` straggler detection and
+    ``_Spool.reap_stale`` apply the same heartbeat-aware predicate --
+    a claim is flagged as a straggler iff the reaper would steal it."""
+    root = tmp_path / "spool"
+    spool = _Spool(root)
+    spool.ensure()
+    spool.enqueue("unit-a", {"spec": "placeholder"})
+    assert spool.try_claim("unit-a", worker="w1")
+    hb_dir = telemetry_area(root) / "heartbeats"
+    hb_dir.mkdir(parents=True, exist_ok=True)
+    hb = hb_dir / "w1.json"
+    hb.write_text(json.dumps({"worker": "w1", "role": "worker",
+                              "state": "running"}))
+    then = time.time() - 100.0
+
+    def snapshot():
+        st = collect_status(root, stall_s=30.0)
+        flagged = [s["unit"] for s in st.stragglers]
+        reapable = spool.reap_stale(["unit-a"], lease_s=30.0,
+                                    heartbeats=hb_dir)
+        for k in reapable:                  # undo: reap_stale releases
+            assert spool.try_claim(k, worker="w1")
+            os.utime(spool.claim_path(k), times=(then, then))
+        return flagged, reapable
+
+    # fresh claim, fresh heartbeat -> neither flags it
+    assert snapshot() == ([], [])
+    # old claim, fresh heartbeat -> live straggler: both leave it alone
+    os.utime(spool.claim_path("unit-a"), times=(then, then))
+    assert snapshot() == ([], [])
+    # old claim, old heartbeat -> both call it stalled
+    os.utime(hb, times=(then, then))
+    assert snapshot() == (["unit-a"], ["unit-a"])
+    # old claim, no heartbeat at all -> presumed dead, both agree
+    hb.unlink()
+    assert heartbeat_age(hb_dir, "w1") is None
+    assert snapshot() == (["unit-a"], ["unit-a"])
+
+
+# -- the harness chaos matrix (smoke; CI runs the full default one) ----------
+
+def test_harness_chaos_smoke_spool(tmp_path):
+    """One armed spool scenario end to end: corrupt + lease hazards,
+    driver-only (no external worker), cold leg + disarmed resume leg
+    both bit-identical to the hazard-free baseline, telemetry valid."""
+    report = run_harness_chaos(tmp_path / "wd", transports=("spool",),
+                               classes=(("corrupt", "lease"),),
+                               spawn_worker=False)
+    (outcome,) = report.outcomes
+    assert outcome.ok, (outcome.error, outcome.telemetry_problems)
+    assert report.ok and len(report.baseline) == 2
+    assert hazards.current() is None                    # matrix disarms

@@ -218,6 +218,62 @@ def test_second_sweep_is_served_from_the_memo(tmp_path):
     assert second.rt_stats["pipeline"]["memo.hit"] == len(specs)
 
 
+def _rot_entries(store, keys):
+    """Hand-damage journal/memo entries on disk: bit-flip the first
+    key's payload, truncate the second's file mid-frame."""
+    flip = store._path(keys[0])
+    raw = bytearray(flip.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    flip.write_bytes(bytes(raw))
+    trunc = store._path(keys[1])
+    trunc.write_bytes(trunc.read_bytes()[:20])
+
+
+def test_corrupt_journal_entries_recovered(golden, tmp_path):
+    """Bit-rotted / truncated checkpoint entries are a quarantined
+    miss: the resume sweep re-executes those units, re-merges
+    bit-identical, and repairs the journal -- never crashes."""
+    specs = _specs(("single", "G0"))
+    first = ExecutionPipeline(journal=CheckpointJournal(tmp_path / "j"))
+    first.run(specs)
+    keys = sorted(first.journal.keys())
+    _rot_entries(first.journal, keys)
+
+    resume = ExecutionPipeline(journal=CheckpointJournal(tmp_path / "j"))
+    runs = resume.run(specs)
+    assert {r.config: r.cycles for r in runs} == \
+        {c: golden[c] for c in ("single", "G0")}
+    assert resume.counters.get("unit.resumed") == 0
+    assert resume.counters.get("unit.executed") == len(keys)
+    # evidence kept aside, journal healed for the next resume
+    assert len(list((tmp_path / "j" / "corrupt").iterdir())) == 2
+    healed = ExecutionPipeline(journal=CheckpointJournal(tmp_path / "j"))
+    healed.run(specs)
+    assert healed.counters.get("unit.resumed") == len(keys)
+    assert healed.counters.get("unit.executed") == 0
+
+
+def test_corrupt_memo_entries_recovered(golden, tmp_path):
+    """Same recovery contract for the memo store: damaged entries miss
+    (and quarantine), the sweep recomputes and rewrites them."""
+    specs = _specs(("single", "G0"))
+    first = ExecutionPipeline(memo=MemoStore(tmp_path / "m"))
+    first.run(specs)
+    keys = sorted(first.memo.keys())
+    _rot_entries(first.memo, keys)
+
+    resume = ExecutionPipeline(memo=MemoStore(tmp_path / "m"))
+    runs = resume.run(specs)
+    assert {r.config: r.cycles for r in runs} == \
+        {c: golden[c] for c in ("single", "G0")}
+    assert resume.counters.get("memo.hit") == 0
+    assert resume.counters.get("memo.miss") == len(keys)
+    assert len(list((tmp_path / "m" / "corrupt").iterdir())) == 2
+    warm = ExecutionPipeline(memo=MemoStore(tmp_path / "m"))
+    warm.run(specs)
+    assert warm.counters.get("memo.hit") == len(keys)
+
+
 def test_memo_respects_code_and_spec_identity(tmp_path):
     """Keys differing in any identity component never collide in the
     store -- a verify=False result can't be served to a verify=True
