@@ -7,9 +7,9 @@ and min-of-reps
 
 * asserts the simulated cycle map is bit-identical across every arm
   (the tiers' cycle-exactness contract);
-* records the per-tier and all-on speedups, a fast-path eligibility
-  census from the ``mem`` arm, and explanatory notes to
-  ``BENCH_hotpath.json`` at the repository root.
+* records the per-tier and all-on speedups, the forecast-planner
+  census (planned / aborted / fell back, by reason), and explanatory
+  notes to ``BENCH_hotpath.json`` at the repository root.
 
 The suite here is pinned to test size / 4 CMPs (the regress smoke
 scale) regardless of ``REPRO_BENCH_SIZE`` so the recorded trajectory
@@ -99,18 +99,41 @@ def _cycle_map(suite):
 
 
 def _mem_census(suite):
-    """Fast-path eligibility census: how many misses could plan."""
+    """Forecast census: how many misses planned, aborted, or fell back
+    to the generator transaction -- and for what reason (the planner's
+    ``mem.forecast.*`` / ``mem.fallback.*`` counter taxonomy)."""
     agg = {}
     for row in suite.values():
         for run in row.values():
-            for k in ("fast_misses", "local", "remote", "remote3"):
-                agg[k] = agg.get(k, 0) + (run.result.mem_stats.get(k) or 0)
-    misses = agg.get("local", 0) + agg.get("remote", 0) + \
-        agg.get("remote3", 0)
-    return {"fast_misses": agg.get("fast_misses", 0),
-            "generator_misses": misses - agg.get("fast_misses", 0),
-            "eligible_fraction": round(
-                agg.get("fast_misses", 0) / misses, 4) if misses else 0.0}
+            for k, v in run.result.mem_stats.items():
+                if (k in ("fast_misses", "local", "remote", "remote3")
+                        or k.startswith("forecast")
+                        or k.startswith("fallback")):
+                    agg[k] = agg.get(k, 0) + v
+    planned = agg.get("forecast.hit", 0)
+    aborted = agg.get("forecast.abort", 0)
+    fellback = sum(v for k, v in agg.items() if k.startswith("fallback."))
+    # Denominator: every GETS/GETX transaction that reached the planner
+    # -- demand misses *and* prefetch-exclusive conversions (which never
+    # count a local/remote level of their own).
+    attempts = planned + aborted + fellback
+    frac = (lambda n: round(n / attempts, 4) if attempts else 0.0)
+    return {
+        "miss_transactions": attempts,
+        "demand_misses": agg.get("local", 0) + agg.get("remote", 0)
+        + agg.get("remote3", 0),
+        "forecast_planned": planned,
+        "forecast_aborted": aborted,
+        "generator_fallbacks": fellback,
+        "planned_fraction": frac(planned),
+        "planned_or_aborted_fraction": frac(planned + aborted),
+        "abort_reasons": {k.split(".", 2)[2]: v for k, v in sorted(
+            agg.items()) if k.startswith("forecast.abort.")},
+        "fallback_reasons": {k.split(".", 1)[1]: v for k, v in sorted(
+            agg.items()) if k.startswith("fallback.")},
+        "lock_waits_planned_through": agg.get("forecast.lock_wait", 0),
+        "epoch_moved": agg.get("forecast.epoch_moved", 0),
+    }
 
 
 def _measure():
@@ -196,15 +219,27 @@ def _measure():
                           "operations; kept for the zero-delay/collision "
                           "regimes (timer cascades, wide barriers) and "
                           "as the fast-path quiescence probe.",
-                "mem": "The planner is timing-neutral here because the "
-                       "suite's misses are genuinely contended: the "
-                       "census shows only ~1% of misses find every "
-                       "server idle, the line lock free, and the engine "
-                       "quiescent (dominant fallback reasons measured: "
-                       "busy servers, 3-hop ownership, pending "
-                       "invalidations, queued events inside the "
-                       "horizon).  The tier pays off on uncontended "
-                       "single-CPU phases, not this smoke sweep.",
+                "mem": "The epoch forecast now plans ~97% of miss "
+                       "transactions (see mem_fast_path; the old "
+                       "quiescence probe managed ~1%), yet the arm is "
+                       "wall-clock neutral-to-negative on miss-dense "
+                       "benchmarks (cg ~0.8x, lu ~0.94x, ep ~1.0x "
+                       "measured standalone).  Ceiling analysis: the "
+                       "exactness contract pins the planner to event-"
+                       "count parity with the generator twin -- one "
+                       "wake per leg boundary is what keeps within-"
+                       "bucket event order identical (pre-computing the "
+                       "whole timeline and sleeping through it provably "
+                       "reorders same-instant FIFO ties) -- so the only "
+                       "claimable win is per-event dispatch cost.  The "
+                       "tick's booking arithmetic (free_at/reserve/"
+                       "complete) costs about what the C-level "
+                       "yield-from resume it replaces does, and the "
+                       "per-miss admission work (conflict classifier, "
+                       "trip dry-run, counter taxonomy, ~10us/miss) is "
+                       "the residual.  The tier's payoff is the census "
+                       "itself plus preemption-verified exactness, not "
+                       "wall clock on this contended smoke suite.",
             },
         }
     finally:

@@ -6,8 +6,11 @@ for attribution and for the regression gate's off/on diff:
 
 * ``engine``  -- the calendar/bucket scheduler queue in
   :class:`repro.sim.Engine` (heapq fallback when off);
-* ``mem``     -- the synchronous uncontended-miss fast path in
-  :class:`repro.mem.CoherentMemorySystem`;
+* ``mem``     -- the epoch-forecast miss planner in
+  :class:`repro.mem.CoherentMemorySystem` (misses book reservation
+  windows on their path's servers and walk the leg boundaries with
+  lightweight ticks, instead of resuming the generator transaction's
+  coroutine chain at every event);
 * ``fuse``    -- bytecode superinstruction fusion in
   :mod:`repro.compiler.optimize`;
 * ``compile`` -- per-function generated-code translation in

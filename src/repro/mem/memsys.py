@@ -24,11 +24,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config.machine import MachineConfig
-from ..faults import MAX_NET_JITTER
 from ..hotpath import hotpath_enabled
 from ..obs import Counter, line_outcome, make_sink
 from ..obs.probe import NULL_PROBE, Probe
 from ..sim import Engine
+from ..sim.engine import Process, _PlanWake
 from ..sim.resources import Server
 from .address import Placement, SharedAllocator, is_shared_addr
 from .cache import Cache, CacheLine, MESIState
@@ -62,6 +62,236 @@ class _Mshr:
         self.kind = kind
         self.late = False          # a sibling-stream request merged in
         self.is_prefetch = is_prefetch
+
+
+class _PlanTick:
+    """A scheduled (or handoff-parked) plan boundary.  Stepping it
+    advances the plan's bookkeeping directly -- no coroutine-stack
+    resumption -- which is where the tier's wall-clock win lives: the
+    plan fires the *same number* of events as the generator twin (the
+    cadence is what keeps event order exact), but each one costs a
+    method call instead of re-entering the transaction's generator
+    chain.  The owning process is only stepped at phase boundaries."""
+
+    __slots__ = ("plan", "name", "alive")
+
+    footprint = None
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.name = "mem.plan"
+        self.alive = True
+
+    def _step(self, value) -> None:
+        self.plan._advance()
+
+
+class _MissPlan:
+    """One in-flight contention-forecast plan (DESIGN §6).
+
+    The planner walks the transaction's legs on the same *wake cadence*
+    the generator twin would run them -- each leg is booked at the
+    instant the twin would schedule that leg's arrival, a tick fires at
+    every leg boundary (so the plan's own schedule calls land in the
+    same event buckets, in the same within-bucket order, as the
+    twin's), and a leg that chains behind in-flight occupancy parks its
+    tick on a *handoff* that the occupancy's ender appends at the
+    release instant, exactly like a FIFO queue-gate fire.  By induction
+    the plan steps in the generator's event order at every instant, so
+    same-instant arrival ties at a server resolve identically with the
+    tier on or off.  When real traffic invalidates the booked window,
+    the server preempts the plan (``preempt``) and the rest of the
+    phase degrades to ordinary ``serve()`` calls; later phases plan
+    afresh, so one collision does not forfeit the whole transaction.
+    """
+
+    __slots__ = ("engine", "proc", "window", "_wake", "_abort",
+                 "_abort_arrival", "phase_ops", "_k", "degrade_reason")
+
+    def __init__(self, engine: Engine, proc: Process):
+        self.engine = engine
+        self.proc = proc
+        self.window = None       # the single currently-booked leg window
+        self._wake = None
+        self._abort = None       # op index of a preempted leg, if any
+        self._abort_arrival = 0.0
+        self.phase_ops: list = []
+        self._k = 0              # op cursor within the current phase
+        self.degrade_reason: Optional[str] = None
+
+    # -- phase protocol ---------------------------------------------------
+
+    def plan_phase(self, ops) -> bool:
+        """Stage ``ops`` -- a list of ``(server, duration)`` legs and
+        ``(None, delay)`` pure gaps -- as the current phase and dry-run
+        the booking chain.  Nothing is reserved here (each leg books at
+        its own boundary in ``run_phase``, matching the instant the
+        generator twin would take its queue position); the return value
+        is the admission screen: False when some leg's timeline is
+        undecidable *now* (queued waiters, a unit mid-handoff, jitter
+        injection armed)."""
+        self.stage(ops)
+        t = self.engine.now
+        for srv, dur in ops:
+            if srv is None:
+                t += dur
+                continue
+            s = srv.free_at(t, dur)
+            if s is None:
+                return False
+            t = s + dur
+        return True
+
+    def stage(self, ops) -> None:
+        """Set ``ops`` as the current phase without the dry-run.  For
+        every phase after the admission trip the walk itself is the
+        probe -- an undecidable leg degrades the remainder to ordinary
+        serves -- so the chained ``free_at`` pass would be discarded
+        work on the planner's hottest path."""
+        self.phase_ops = ops
+
+    def run_phase(self):
+        """Generator: walk the phase's ops on the twin's wake cadence.
+        The process parks once; ticks do the boundary work and step it
+        back in at phase end (or on a degrade, where the remaining ops
+        replay through ordinary serves).  Returns True when the phase
+        completed purely from the plan."""
+        self._k = 0
+        k = None
+        st = self._walk()
+        if st == "pure":
+            return True
+        if st == "parked":
+            self._abort = None
+            yield Engine.PAUSE
+            if self._abort is not None:
+                # Preempted at op k: the window was cancelled and the
+                # re-wake landed where the generator twin would issue
+                # the leg's request; replay the rest of the phase real.
+                k = self._abort
+                if self.degrade_reason is None:
+                    self.degrade_reason = "preempt"
+                lag = self.engine.now - self._abort_arrival
+                if lag > 0:
+                    # Repositioning woke us *after* the twin's arrival:
+                    # it queued from _abort_arrival on, the replacement
+                    # serve only charges from now.
+                    self.phase_ops[k][0].total_queue_wait += lag
+            elif self._k >= len(self.phase_ops):
+                return True
+        if k is None:
+            k = self._k          # walk hit an undecidable timeline
+        if self.degrade_reason is None:
+            self.degrade_reason = "server_queue"
+        for srv, dur in self.phase_ops[k:]:
+            if srv is None:
+                yield dur
+            else:
+                yield from srv.serve(dur)
+        return False
+
+    def _walk(self) -> str:
+        """Advance through ops from the cursor until the next tick is
+        staged ("parked"), the phase is over ("pure"), or a leg's
+        timeline is undecidable ("degrade")."""
+        engine = self.engine
+        ops = self.phase_ops
+        n = len(ops)
+        while self._k < n:
+            srv, dur = ops[self._k]
+            now = engine.now
+            if srv is None:
+                # Pure gap: the twin schedules its resumption here too.
+                self._k += 1
+                self._tick(now + dur)
+                return "parked"
+            s = srv.free_at(now, dur)
+            if s is None:
+                if self.degrade_reason is None:
+                    self.degrade_reason = "server_queue"
+                return "degrade"
+            w = srv.reserve(now, s, dur, plan=self, leg=self._k)
+            self.window = w
+            if s > now or srv._pending_release_at(now):
+                # Queued behind occupancy: the twin would be resumed by
+                # the occupant's FIFO handoff, so this tick must be
+                # *appended* at the release instant, not pre-scheduled.
+                srv.park_handoff(s, self._next_tick())
+            else:
+                # Leg start: the twin begins its hold, schedules its end.
+                self._tick(w.end)
+            return "parked"
+        return "pure"
+
+    def _next_tick(self) -> "_PlanTick":
+        # Reuse the tick that just fired: at most one is outstanding per
+        # plan, and a preempt retires it (alive=False) rather than
+        # recycling it, so a dead copy can never be revived in-queue.
+        t = self._wake
+        if type(t) is not _PlanTick or not t.alive:
+            t = _PlanTick(self)
+        self._wake = t
+        return t
+
+    def _tick(self, t: float) -> None:
+        w = self._next_tick()
+        self.engine._schedule(w, t - self.engine.now, None)
+
+    def _advance(self) -> None:
+        """Tick callback: perform this boundary's bookkeeping and stage
+        the next tick; step the owning process only when the phase is
+        over (pure completion or degrade), in this event's step -- the
+        exact position the generator twin's serve-return would run."""
+        engine = self.engine
+        w = self.window
+        if w is not None:
+            if engine.now < w.end:
+                # Leg start (the handoff landed): twin begins its hold.
+                self._tick(w.end)
+                return
+            w.server.complete(w)  # releases the unit to whoever chained
+            self.window = None
+            self._k += 1
+        if self._walk() == "parked":
+            return
+        proc = self.proc
+        engine._current = proc
+        if proc.alive:
+            proc._step(None)
+
+    def preempt(self, leg: int) -> None:
+        """Server callback: the booked window was invalidated (a real
+        hold it chained behind ended early).  Cancel it (refunding
+        statistics) and re-wake the parked plan where the generator
+        twin would issue the leg's request: its planned arrival, or now
+        if the timeline repositioned into the past."""
+        w = self.window
+        if w is None:
+            return
+        w.server.cancel(w)
+        self.window = None
+        self._abort = leg
+        self._abort_arrival = w.arrival
+        if self._wake is not None:
+            self._wake.alive = False
+        t = self.engine.now
+        if w.arrival > t:
+            t = w.arrival
+        nw = _PlanWake(self.proc, name="mem.plan.abort")
+        self._wake = nw
+        self.engine._schedule(nw, t - self.engine.now, None)
+
+    def unwind(self) -> None:
+        """Interrupt/kill mid-plan: cancel the in-flight window (an
+        elapsed one keeps its charges, exactly as an interrupted real
+        serve does)."""
+        if self._wake is not None:
+            self._wake.alive = False
+            self._wake = None
+        w = self.window
+        if w is not None:
+            w.server.cancel(w)
+            self.window = None
 
 
 class NodeMemory:
@@ -161,7 +391,8 @@ class CoherentMemorySystem:
                 # Background writeback: occupy the home memory controller.
                 home = self.placement.home(line.line_addr)
                 self.engine.process(
-                    self._writeback(node_id, home), name="wb")
+                    self._writeback(node_id, home), name="wb",
+                    footprint=())
         return handler
 
     def _writeback(self, node: int, home: int):
@@ -350,23 +581,34 @@ class CoherentMemorySystem:
             finally:
                 nm.outstanding_prefetches -= 1
 
-        self.engine.process(body(), name=f"pfx:n{node}")
+        self.engine.process(body(), name=f"pfx:n{node}", footprint=(la,))
         return True
 
-    # ---------------------------------------------- uncontended fast path
+    # --------------------------------------- epoch-forecast fast path
     #
-    # When the engine is quiescent until after the miss would complete,
-    # the whole GETS/GETX event sequence is fully determined at issue
-    # time: plan the occupancy windows arithmetically, reserve them on
-    # the path's servers, sleep once for the end-to-end latency, and
-    # replay the state updates at completion in exactly the order the
-    # generator transaction performs them.  DESIGN.md §6 gives the
-    # cycle-exactness argument; tests/test_mem_fastpath.py checks the
+    # A miss's event sequence is almost always *arithmetically*
+    # determined at issue time even when the machine is not quiescent:
+    # each server leg starts at the later of its arrival and the end of
+    # the occupancy already in flight there.  The planner books each
+    # leg as a reservation window on its server (``free_at`` /
+    # ``reserve``) at the instant the generator twin would take its
+    # queue position, computes the whole timeline arithmetically, and
+    # parks the process (``Engine.PAUSE``) between leg boundaries --
+    # waking on exactly the twin's cadence so its schedule calls keep
+    # the twin's within-bucket event order (same-instant FIFO ties at
+    # a server resolve identically tier on or off), and performing the
+    # transaction's side effects -- lock acquire, directory updates,
+    # commit -- at the twin's exact instants.  Real traffic that would
+    # have queued *ahead* of a planned leg preempts the plan (the
+    # window is cancelled and that leg replays through an ordinary
+    # ``serve()``), so cycle streams are equal by construction, not by
+    # an eligibility screen.  DESIGN.md §6 gives the decidability and
+    # order-exactness arguments; tests/test_mem_fastpath.py checks the
     # race and ablation properties directly.
 
     def _fast_miss(self, node: int, la: int, stream: str, nm, mshr,
                    rdex: bool, upgrade: bool):
-        """Attempt the synchronous miss plan.  Returns the latency class
+        """Attempt the forecast miss plan.  Returns the latency class
         name, or ``None`` -- before any yield -- when ineligible (the
         caller then falls back to the generator transaction)."""
         engine = self.engine
@@ -374,105 +616,147 @@ class CoherentMemorySystem:
         home = self.placement.home(la, toucher=node)
         remote = home != node
         hm = self.nodes[home]
-        c_bus, c_nil, c_mem = self.c_bus, self.c_nil, self.c_mem
-        need_mem = not upgrade
-        # Leg durations must all be positive so an abort can only be
-        # delivered at the single resumption point (the final bus leg),
-        # where the rollback below matches the generator's unwind.
-        if c_bus <= 0 or c_nil <= 0 or (need_mem and c_mem <= 0):
+        count = nm.probe.count
+        c_bus, c_nil, c_nir = self.c_bus, self.c_nil, self.c_nir
+        c_net, c_mem = self.c_net, self.c_mem
+        proc = engine._current
+        if not isinstance(proc, Process) or not proc.alive:
+            count("fallback.no_proc")
             return None
-        if remote and (self.c_nir <= 0 or self.c_net <= 0):
-            return None
-        # Every server on the path must be idle, unqueued, unreserved.
-        if not (nm.bus.idle_at(t0) and hm.dirctrl.idle_at(t0)
-                and (not need_mem or hm.mem.idle_at(t0))):
-            return None
-        if remote and not (nm.ni_out.idle_at(t0) and nm.ni_in.idle_at(t0)):
+        # Zero-length legs would collapse distinct resumption points
+        # onto their neighbours; decline (paper configs are positive).
+        if c_bus <= 0 or c_nil <= 0 or c_mem <= 0 or c_nir <= 0 or c_net <= 0:
+            count("fallback.config")
             return None
         lock = self.directory.lock(la)
-        if lock.count <= 0 or lock._waiters or lock.op_latency != 0.0:
+        if lock.op_latency != 0.0:
+            count("fallback.config")
             return None
-        entry = self.directory.entry(la)
-        if entry.state == DirState.EXCLUSIVE and entry.owner != node:
-            return None                      # 3-hop intervention path
-        if rdex and self.directory.sharers_excluding(la, node):
-            return None                      # invalidation round needed
-        base = 2 * c_bus + c_nil + (c_mem if need_mem else 0.0)
-        if remote:
-            base += 2 * (self.c_net + self.c_nir)
-        # Quiescence: nothing else may run strictly before completion
-        # (entries at exactly t0+L are fine -- they cannot reach any
-        # mid-flight state the plan defers, see DESIGN §6).  Jitter
-        # draws are irreversible (each consumes a schedule index), so
-        # with injection armed the horizon is padded by the largest
-        # jitter the two NI legs could draw *before* drawing.
-        jittery = remote and (nm.ni_out.faults is not None
-                              or nm.ni_in.faults is not None)
-        horizon = base + 2 * MAX_NET_JITTER if jittery else base
-        nt = engine.next_time()
-        if nt is not None and nt < t0 + horizon:
+        # Conservative classifier: known same-line work queued inside
+        # the horizon (a pending invalidation, a prefetch conversion)
+        # will contend on the directory lock mid-plan; take the
+        # generator path now rather than plan-and-degrade.
+        base = 2 * c_bus + c_nil + c_mem + (2 * (c_net + c_nir) if remote
+                                            else 0.0)
+        if la in engine.pending_lines(t0 + 2.0 * base):
+            count("fallback.queued_conflict")
             return None
-        # ---- committed: draw jitter, reserve the windows ----------------
-        j_out = j_in = 0.0
+        plan = _MissPlan(engine, proc)
+        # Request trip out: requester bus, NI egress + network when
+        # remote, home directory controller.  All-or-nothing: if any
+        # trip leg's timeline is undecidable (queued waiters, a unit
+        # mid-handoff, jitter injection armed on an NI), decline before
+        # yielding so the generator body runs instead.
+        trip = [(nm.bus, c_bus)]
         if remote:
-            plan = nm.ni_out.faults
-            if plan is not None:
-                extra = plan.fire("net_jitter", nm.ni_out.name)
-                if extra is not None:
-                    j_out = extra
-            plan = nm.ni_in.faults
-            if plan is not None:
-                extra = plan.fire("net_jitter", nm.ni_in.name)
-                if extra is not None:
-                    j_in = extra
-        lock.try_acquire()
-        bus = nm.bus
-        t = t0
-        bus.reserve(t, c_bus)
-        t += c_bus
-        if remote:
-            d = self.c_nir + j_out
-            nm.ni_out.reserve(t, d)
-            t += d + self.c_net
-        hm.dirctrl.reserve(t, c_nil)
-        t += c_nil
-        if need_mem:
-            hm.mem.reserve(t, c_mem)
-            t += c_mem
-        if remote:
-            t += self.c_net
-            d = self.c_nir + j_in
-            nm.ni_in.reserve(t, d)
-            t += d
-        # Final fill leg: physically hold a bus unit, so a racer
-        # arriving at the completion instant queues behind it exactly
-        # as it queues behind the generator's still-held fill leg.
-        bus.total_requests += 1
-        bus._busy += 1
-        end = t + c_bus
-        if end > bus.busy_until:
-            bus.busy_until = end
+            trip += [(nm.ni_out, c_nir), (None, c_net)]
+        trip.append((hm.dirctrl, c_nil))
+        if not plan.plan_phase(trip):
+            plan.unwind()
+            count("fallback.server_queue")
+            return None
         level = "remote" if remote else "local"
+        acquired = False
         try:
-            yield end - t0
+            yield from plan.run_phase()
+            # The line lock is taken at its true arrival instant (the
+            # trip's end), so racing same-line transactions keep their
+            # FIFO order; a contended lock is waited out for real.
+            if not lock.is_free_now():
+                count("forecast.lock_wait")
+            yield from lock.acquire()
+            acquired = True
+            epoch0 = lock.epoch
+            # The shape decision reads directory state *here*, under
+            # the lock at the true decision instant -- the forecast
+            # never guesses coherence state, only server timelines.
+            entry = self.directory.entry(la)
+            if entry.state == DirState.EXCLUSIVE and entry.owner != node:
+                level = "remote3"
+                owner = entry.owner
+                onm = self.nodes[owner]
+                ops = []
+                if owner != home:
+                    ops += [(None, c_net), (onm.ni_in, c_nir)]
+                ops.append((onm.bus, c_bus))
+                plan.stage(ops)
+                yield from plan.run_phase()
+                if rdex:
+                    self._invalidate_node_line(owner, la)
+                    ops = []
+                    if owner != node:
+                        ops += [(onm.ni_out, c_nir), (None, c_net)]
+                    if node != home:
+                        ops.append((nm.ni_in, c_nir))
+                    ops.append((nm.bus, c_bus))
+                    plan.stage(ops)
+                    yield from plan.run_phase()
+                else:
+                    oline = onm.l2.peek(la)
+                    if oline is not None:
+                        oline.state = MESIState.SHARED
+                        oline.dirty = False
+                    ops = []
+                    if owner != node:
+                        ops += [(onm.ni_out, c_nir), (None, c_net)]
+                    plan.stage(ops)
+                    yield from plan.run_phase()
+                    engine.process(hm.mem.serve(c_mem), name="3hop-wb",
+                                   footprint=())
+                    self.directory.demote_to_shared(la, extra_sharer=node)
+                    epoch0 = lock.epoch
+                    ops = []
+                    if node != home:
+                        ops.append((nm.ni_in, c_nir))
+                    ops.append((nm.bus, c_bus))
+                    plan.stage(ops)
+                    yield from plan.run_phase()
+            elif rdex:
+                sharers = self.directory.sharers_excluding(la, node)
+                acks = [self._spawn_inv(home, s, la) for s in sharers]
+                if sharers:
+                    count("inv_rounds")
+                    count("invs_sent", len(sharers))
+                if not upgrade:
+                    plan.stage([(hm.mem, c_mem)])
+                    yield from plan.run_phase()
+                if acks:
+                    yield engine.all_of(acks)
+                ops = []
+                if remote:
+                    ops += [(None, c_net), (nm.ni_in, c_nir)]
+                ops.append((nm.bus, c_bus))
+                plan.stage(ops)
+                yield from plan.run_phase()
+            else:
+                plan.stage([(hm.mem, c_mem)])
+                yield from plan.run_phase()
+                self.directory.add_sharer(la, node)  # at the mem-leg end
+                epoch0 = lock.epoch
+                ops = []
+                if remote:
+                    ops += [(None, c_net), (nm.ni_in, c_nir)]
+                ops.append((nm.bus, c_bus))
+                plan.stage(ops)
+                yield from plan.run_phase()
+            if lock.epoch != epoch0:
+                # A lock-free actor (an eviction's drop_node) moved the
+                # line mid-plan.  Every update the plan defers commutes
+                # with drops (DESIGN §6), so the commit below is still
+                # the generator's final state; record the staleness.
+                count("forecast.epoch_moved")
         except BaseException:
-            # Aborted (slipstream recovery interrupt, or a kill) -- by
-            # quiescence, deliverable only at the completion instant.
-            # Replay what the generator had already committed mid-
-            # flight, drop what it had not, and unwind in its order:
-            # fill-leg release first, then the line lock.
-            if not rdex:
-                self.directory.add_sharer(la, node)  # done at mem-leg end
-            bus._release()           # fill leg never adds total_service
-            lock.release()
+            # Interrupted (slipstream recovery, or a kill): cancel the
+            # unrendered windows; every mid-flight directory update was
+            # already applied at its exact instant, so the remaining
+            # unwind is just the lock, as in the generator's finally.
+            plan.unwind()
+            if acquired:
+                lock.release()
             raise
-        # ---- completion: replay the generator's commit order ------------
-        bus.total_service += c_bus
-        bus._release()
+        # ---- commit: replay the generator's completion order ------------
         if rdex:
             self.directory.set_exclusive(la, node)
-        else:
-            self.directory.add_sharer(la, node)
         lock.release()
         line = nm.l2.insert(
             la, MESIState.EXCLUSIVE if rdex else MESIState.SHARED)
@@ -481,7 +765,12 @@ class CoherentMemorySystem:
             line.dirty = True
         self._set_record(line, stream, "rdex" if rdex else "read",
                          merged_late=mshr.late)
-        nm.probe.count("fast_misses")
+        if plan.degrade_reason is None:
+            count("fast_misses")
+            count("forecast.hit")
+        else:
+            count("forecast.abort")
+            count("forecast.abort." + plan.degrade_reason)
         return level
 
     # ------------------------------------------------------- transactions
@@ -552,7 +841,8 @@ class CoherentMemorySystem:
                     yield from self.nodes[owner].ni_out.serve(self.c_nir)
                     yield self.c_net
                 self.engine.process(
-                    self.nodes[home].mem.serve(self.c_mem), name="3hop-wb")
+                    self.nodes[home].mem.serve(self.c_mem), name="3hop-wb",
+                    footprint=())
                 self.directory.demote_to_shared(la, extra_sharer=node)
                 if node != home:
                     yield from self.nodes[node].ni_in.serve(self.c_nir)
@@ -651,7 +941,7 @@ class CoherentMemorySystem:
                 "coh.inv", self.engine.now, {"addr": la})
             ack.fire()
 
-        self.engine.process(body(), name=f"inv:n{sharer}")
+        self.engine.process(body(), name=f"inv:n{sharer}", footprint=(la,))
         return ack
 
     def _invalidate_node_line(self, node: int, la: int) -> None:
